@@ -1,0 +1,140 @@
+(* The benchmark executable does two jobs:
+
+   1. Reproduce the paper: print every experiment table (E1-E7, mapped
+      to the paper's figures and theorems in DESIGN.md). These are
+      *space* measurements — the paper's claims are about asymptotic
+      space, so this report is the real artifact.
+
+   2. Wall-clock benchmarks (Bechamel): one [Test.make] per experiment
+      table, timing a representative slice of each, plus a throughput
+      comparison of the six machine variants. The paper makes no timing
+      claims; this section is an engineering sanity check that the
+      reference machines are usable. *)
+
+open Bechamel
+open Toolkit
+module M = Tailspace_core.Machine
+module X = Tailspace_harness.Experiments
+module R = Tailspace_harness.Runner
+module Corpus = Tailspace_corpus.Corpus
+module Families = Tailspace_corpus.Families
+module Expand = Tailspace_expander.Expand
+
+(* ------------------------------------------------------------------ *)
+(* Timing benches                                                      *)
+
+let stage_run ~variant program n =
+  (* machine creation is hoisted out of the timed closure *)
+  let t = M.create ~variant () in
+  Staged.stage (fun () ->
+      ignore (M.run_program t ~program ~input:(R.input_expr n)))
+
+let variant_benches =
+  let program = Corpus.program (Option.get (Corpus.find "fib-naive")) in
+  List.map
+    (fun variant ->
+      Test.make
+        ~name:(M.variant_name variant)
+        (stage_run ~variant program 10))
+    M.all_variants
+
+let experiment_benches =
+  let sep = Expand.program_of_string Families.separator_stack_gc in
+  let pk = Expand.program_of_string (Families.pk_program 8) in
+  let right = Expand.program_of_string Families.find_leftmost_right_traverse in
+  let cps = Expand.program_of_string Families.cps_loop in
+  let countdown = Corpus.program (Option.get (Corpus.find "countdown")) in
+  [
+    Test.make ~name:"fig2.analyze-corpus"
+      (Staged.stage (fun () -> ignore (X.Fig2.run ())));
+    Test.make ~name:"thm25.separator-stack"
+      (stage_run ~variant:M.Stack sep 12);
+    Test.make ~name:"thm24.chain-countdown"
+      (let machines = List.map (fun v -> M.create ~variant:v ()) M.all_variants in
+       Staged.stage (fun () ->
+           List.iter
+             (fun t ->
+               ignore
+                 (M.run_program t ~program:countdown ~input:(R.input_expr 20)))
+             machines));
+    Test.make ~name:"thm26.pk-linked"
+      (let t = M.create ~variant:M.Tail () in
+       Staged.stage (fun () ->
+           ignore
+             (M.run_program ~measure_linked:true t ~program:pk
+                ~input:(R.input_expr 8))));
+    Test.make ~name:"sec4.find-leftmost"
+      (stage_run ~variant:M.Tail right 32);
+    Test.make ~name:"cor20.all-variants"
+      (let machines = List.map (fun v -> M.create ~variant:v ()) M.all_variants in
+       let program = Corpus.program (Option.get (Corpus.find "even-odd")) in
+       Staged.stage (fun () ->
+           List.iter
+             (fun t ->
+               ignore (M.run_program t ~program ~input:(R.input_expr 30)))
+             machines));
+    Test.make ~name:"cps.tail" (stage_run ~variant:M.Tail cps 64);
+    Test.make ~name:"ablation.literal-gc"
+      (let t = M.create ~variant:M.Gc ~return_env:M.Register_env () in
+       Staged.stage (fun () ->
+           ignore (M.run_program t ~program:sep ~input:(R.input_expr 12))));
+    Test.make ~name:"sanity.secd"
+      (let program = Corpus.program (Option.get (Corpus.find "countdown")) in
+       Staged.stage (fun () ->
+           ignore
+             (Tailspace_engines.Secd.run_program ~program
+                ~input:(R.input_expr 64) ())));
+  ]
+
+let run_benches () =
+  let tests =
+    Test.make_grouped ~name:"bench"
+      [
+        Test.make_grouped ~name:"experiments" experiment_benches;
+        Test.make_grouped ~name:"variants" variant_benches;
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let time_ns =
+        match Analyze.OLS.estimates ols with Some [ t ] -> t | _ -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+      rows := (name, time_ns, r2) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  print_string
+    (Tailspace_harness.Table.section "Wall-clock timings (Bechamel, OLS fit)");
+  print_string
+    (Tailspace_harness.Table.render
+       ~header:[ "bench"; "time/run"; "r^2" ]
+       (List.map
+          (fun (name, ns, r2) ->
+            let time =
+              if Float.is_nan ns then "-"
+              else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else Printf.sprintf "%.1f us" (ns /. 1e3)
+            in
+            [ name; time; Printf.sprintf "%.3f" r2 ])
+          rows))
+
+let () =
+  print_endline
+    "Proper Tail Recursion and Space Efficiency (Clinger, PLDI 1998)";
+  print_endline
+    "reproduction report: every table below regenerates a paper claim;";
+  print_endline "see DESIGN.md for the experiment index and EXPERIMENTS.md";
+  print_endline "for the paper-vs-measured record.";
+  print_string (X.render_all ());
+  print_newline ();
+  run_benches ()

@@ -1,0 +1,310 @@
+(* schemesim — run Scheme programs on the paper's reference machines.
+
+   subcommands:
+     run         evaluate a file or expression on a chosen variant,
+                 reporting the answer and the measured space consumption
+     analyze     static tail-call statistics (Figure 2) for a file
+     corpus      list the shipped corpus, or run one entry
+     report      print the paper-reproduction experiment tables *)
+
+open Cmdliner
+module M = Tailspace_core.Machine
+module Expand = Tailspace_expander.Expand
+module Reader = Tailspace_sexp.Reader
+module TC = Tailspace_analysis.Tail_calls
+module X = Tailspace_harness.Experiments
+module R = Tailspace_harness.Runner
+module Corpus = Tailspace_corpus.Corpus
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* shared options                                                      *)
+
+let variant_conv =
+  let parse s =
+    match M.variant_of_name s with
+    | Some v -> Ok v
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown variant %S (expected %s)" s
+               (String.concat "|" (List.map M.variant_name M.all_variants))))
+  in
+  Arg.conv (parse, fun ppf v -> Format.pp_print_string ppf (M.variant_name v))
+
+let variant_arg =
+  let doc =
+    "Reference machine: tail (properly tail recursive, default), gc \
+     (improper), stack (Algol-like deletion), evlis, free, or sfs \
+     (safe-for-space)."
+  in
+  Arg.(value & opt variant_conv M.Tail & info [ "v"; "variant" ] ~docv:"VARIANT" ~doc)
+
+let perm_arg =
+  let cv =
+    let parse = function
+      | "ltr" -> Ok M.Left_to_right
+      | "rtl" -> Ok M.Right_to_left
+      | s -> (
+          match int_of_string_opt s with
+          | Some seed -> Ok (M.Seeded seed)
+          | None -> Error (`Msg "expected ltr, rtl, or an integer seed"))
+    in
+    let print ppf = function
+      | M.Left_to_right -> Format.pp_print_string ppf "ltr"
+      | M.Right_to_left -> Format.pp_print_string ppf "rtl"
+      | M.Seeded s -> Format.fprintf ppf "%d" s
+    in
+    Arg.conv (parse, print)
+  in
+  let doc = "Argument evaluation order: ltr, rtl, or an integer seed." in
+  Arg.(value & opt cv M.Left_to_right & info [ "perm" ] ~docv:"ORDER" ~doc)
+
+let stack_policy_arg =
+  let cv =
+    let parse = function
+      | "algol" -> Ok M.Algol
+      | "safe" -> Ok M.Safe_deletion
+      | _ -> Error (`Msg "expected algol or safe")
+    in
+    let print ppf = function
+      | M.Algol -> Format.pp_print_string ppf "algol"
+      | M.Safe_deletion -> Format.pp_print_string ppf "safe"
+    in
+    Arg.conv (parse, print)
+  in
+  let doc =
+    "I_stack deletion policy: algol (delete everything, stuck on dangling \
+     pointers) or safe (delete the maximal safe subset, default)."
+  in
+  Arg.(value & opt cv M.Safe_deletion & info [ "stack-policy" ] ~docv:"POLICY" ~doc)
+
+let fuel_arg =
+  let doc = "Maximum number of machine steps." in
+  Arg.(value & opt int 20_000_000 & info [ "fuel" ] ~docv:"STEPS" ~doc)
+
+let linked_arg =
+  let doc = "Also measure the linked-environment space model (Figure 8)." in
+  Arg.(value & flag & info [ "linked" ] ~doc)
+
+let trace_arg =
+  let doc = "Print a one-line description of the first $(docv) machine steps." in
+  Arg.(value & opt int 0 & info [ "trace" ] ~docv:"STEPS" ~doc)
+
+let profile_arg =
+  let doc = "Write a step,space CSV profile of the run to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let run_cmd =
+  let file_arg =
+    let doc = "Scheme source file (use - for stdin)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let expr_arg =
+    let doc = "Evaluate an inline program instead of a file." in
+    Arg.(value & opt (some string) None & info [ "e"; "expr" ] ~docv:"PROGRAM" ~doc)
+  in
+  let input_arg =
+    let doc =
+      "Treat the program as §12's procedure-of-one-argument and apply it to \
+       this integer."
+    in
+    Arg.(value & opt (some int) None & info [ "n"; "input" ] ~docv:"N" ~doc)
+  in
+  let run file expr input variant perm stack_policy fuel linked trace_steps
+      profile =
+    let source =
+      match (file, expr) with
+      | _, Some e -> Ok e
+      | Some "-", None -> Ok (In_channel.input_all stdin)
+      | Some f, None -> (
+          try Ok (read_file f) with Sys_error m -> Error m)
+      | None, None -> Error "expected a FILE argument or --expr"
+    in
+    match source with
+    | Error m ->
+        Format.eprintf "schemesim: %s@." m;
+        exit 2
+    | Ok source -> (
+        match
+          let program = Expand.program_of_string source in
+          let t = M.create ~variant ~perm ~stack_policy () in
+          let trace =
+            if trace_steps <= 0 then None
+            else
+              Some
+                (fun step description ->
+                  if step < trace_steps then
+                    Format.printf "; %6d %s@." step description)
+          in
+          let profile_channel = Option.map open_out profile in
+          let on_step =
+            Option.map
+              (fun oc ~steps ~space -> Printf.fprintf oc "%d,%d\n" steps space)
+              profile_channel
+          in
+          let result =
+            Fun.protect
+              ~finally:(fun () -> Option.iter close_out profile_channel)
+              (fun () ->
+                match input with
+                | Some n ->
+                    M.run_program ~fuel ~measure_linked:linked ?on_step ?trace t
+                      ~program ~input:(R.input_expr n)
+                | None ->
+                    M.run ~fuel ~measure_linked:linked ?on_step ?trace t program)
+          in
+          (result, Tailspace_ast.Ast.size program)
+        with
+        | exception Reader.Parse_error e ->
+            Format.eprintf "schemesim: %a@." Reader.pp_error e;
+            exit 1
+        | exception Expand.Expand_error e ->
+            Format.eprintf "schemesim: %a@." Expand.pp_error e;
+            exit 1
+        | result, _psize ->
+            if result.M.output <> "" then print_string result.M.output;
+            (match result.M.outcome with
+            | M.Done { answer; _ } -> Format.printf "%s@." answer
+            | M.Stuck m ->
+                Format.printf "stuck: %s@." m
+            | M.Out_of_fuel -> Format.printf "out of fuel@.");
+            Format.printf
+              "; variant=%s steps=%d |P|=%d peak=%d S=|P|+peak=%d gc-runs=%d@."
+              (M.variant_name variant) result.M.steps result.M.program_size
+              result.M.peak_space
+              (M.space_consumption result)
+              result.M.gc_runs;
+            (match result.M.peak_linked with
+            | Some u -> Format.printf "; linked peak U=%d@." (u + result.M.program_size)
+            | None -> ());
+            (match result.M.outcome with M.Done _ -> () | _ -> exit 1))
+  in
+  let doc = "Run a Scheme program on a reference machine and measure space." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ file_arg $ expr_arg $ input_arg $ variant_arg $ perm_arg
+      $ stack_policy_arg $ fuel_arg $ linked_arg $ trace_arg $ profile_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let analyze_cmd =
+  let file_arg =
+    let doc = "Scheme source file." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let analyze file =
+    match TC.analyze_source (read_file file) with
+    | exception Reader.Parse_error e ->
+        Format.eprintf "schemesim: %a@." Reader.pp_error e;
+        exit 1
+    | exception Expand.Expand_error e ->
+        Format.eprintf "schemesim: %a@." Expand.pp_error e;
+        exit 1
+    | c ->
+        Format.printf "calls:           %d@." c.TC.calls;
+        Format.printf "tail calls:      %d (%.1f%%)@." c.TC.tail_calls
+          (TC.percent c.TC.tail_calls c.TC.calls);
+        Format.printf "self-tail calls: %d (%.1f%%)@." c.TC.self_tail_calls
+          (TC.percent c.TC.self_tail_calls c.TC.calls);
+        Format.printf "known calls:     %d (%.1f%%)@." c.TC.known_calls
+          (TC.percent c.TC.known_calls c.TC.calls)
+  in
+  let doc = "Static tail-call statistics (the Figure 2 measurement)." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* corpus                                                              *)
+
+let corpus_cmd =
+  let name_arg =
+    let doc = "Corpus entry to run (omit to list all entries)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let n_arg =
+    let doc = "Input N for the chosen entry." in
+    Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let corpus name n variant =
+    match name with
+    | None ->
+        List.iter
+          (fun (e : Corpus.entry) ->
+            Format.printf "%-18s %s@." e.Corpus.name e.Corpus.description)
+          Corpus.all
+    | Some name -> (
+        match Corpus.find name with
+        | None ->
+            Format.eprintf "schemesim: unknown corpus entry %S@." name;
+            exit 2
+        | Some e ->
+            let n =
+              match (n, e.Corpus.checks) with
+              | Some n, _ -> n
+              | None, (n, _) :: _ -> n
+              | None, [] -> 0
+            in
+            let m =
+              R.run_once ~variant ~program:(Corpus.program e) ~n ()
+            in
+            (match m.R.status with
+            | R.Answer a -> Format.printf "%s@." a
+            | R.Stuck msg -> Format.printf "stuck: %s@." msg
+            | R.Fuel -> Format.printf "out of fuel@.");
+            Format.printf "; %s(%d) under %s: S=%d steps=%d@." name n
+              (M.variant_name variant) m.R.space m.R.steps)
+  in
+  let doc = "List or run the shipped Scheme corpus." in
+  Cmd.v (Cmd.info "corpus" ~doc) Term.(const corpus $ name_arg $ n_arg $ variant_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+
+let report_cmd =
+  let which_arg =
+    let doc =
+      "Experiment to reproduce: fig2, thm24, thm25, thm26, sec4, cor20, cps, \
+       ablation, sanity, or all (default)."
+    in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let report which =
+    let table =
+      match which with
+      | "fig2" -> Ok (X.Fig2.render (X.Fig2.run ()))
+      | "thm25" -> Ok (X.Thm25.render (X.Thm25.run ()))
+      | "thm24" -> Ok (X.Thm24.render (X.Thm24.run ()))
+      | "thm26" -> Ok (X.Thm26.render (X.Thm26.run ()))
+      | "sec4" -> Ok (X.Sec4.render (X.Sec4.run ()))
+      | "cor20" -> Ok (X.Cor20.render (X.Cor20.run ()))
+      | "cps" -> Ok (X.Cps.render (X.Cps.run ()))
+      | "ablation" -> Ok (X.Ablation.render (X.Ablation.run ()))
+      | "sanity" -> Ok (X.Sanity.render (X.Sanity.run ()))
+      | "all" -> Ok (X.render_all ())
+      | other -> Error other
+    in
+    match table with
+    | Ok s -> print_string s
+    | Error other ->
+        Format.eprintf "schemesim: unknown experiment %S@." other;
+        exit 2
+  in
+  let doc = "Print the paper-reproduction tables (see DESIGN.md)." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const report $ which_arg)
+
+let () =
+  let doc =
+    "reference implementations for 'Proper Tail Recursion and Space \
+     Efficiency' (Clinger, PLDI 1998)"
+  in
+  let info = Cmd.info "schemesim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; analyze_cmd; corpus_cmd; report_cmd ]))

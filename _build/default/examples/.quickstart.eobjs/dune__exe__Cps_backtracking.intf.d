@@ -1,0 +1,1 @@
+examples/cps_backtracking.mli:

@@ -1,0 +1,62 @@
+(* The paper's §4 example. find-leftmost searches a binary tree for the
+   leftmost satisfying leaf, passing an explicit failure continuation.
+   The paper's claim: its space is proportional to the maximal number of
+   *left* edges on any root-to-leaf path and independent of the number
+   of *right* edges — but only under proper tail recursion, because the
+   failure continuations are invoked by tail calls.
+
+       dune exec examples/find_leftmost.exe *)
+
+module Machine = Tailspace_core.Machine
+module Runner = Tailspace_harness.Runner
+module Families = Tailspace_corpus.Families
+module Expand = Tailspace_expander.Expand
+
+let traversal_overhead variant spine_traverse spine_build n =
+  let measure program =
+    let m = Runner.run_once ~variant ~program:(Expand.program_of_string program) ~n () in
+    match m.Runner.status with
+    | Runner.Answer _ -> m.Runner.space
+    | Runner.Stuck msg -> failwith ("stuck: " ^ msg)
+    | Runner.Fuel -> failwith "fuel"
+  in
+  measure spine_traverse - measure spine_build
+
+let () =
+  print_endline "traversal overhead of find-leftmost, net of the tree data";
+  print_endline "(S_traverse - S_build, in words)\n";
+  Printf.printf "%-22s %10s %10s %10s\n" "" "N=50" "N=100" "N=200";
+  List.iter
+    (fun (label, variant, traverse, build) ->
+      Printf.printf "%-22s" label;
+      List.iter
+        (fun n ->
+          Printf.printf " %10d" (traversal_overhead variant traverse build n))
+        [ 50; 100; 200 ];
+      print_newline ())
+    [
+      ( "right spine, I_tail",
+        Machine.Tail,
+        Families.find_leftmost_right_traverse,
+        Families.find_leftmost_right_build );
+      ( "right spine, I_gc",
+        Machine.Gc,
+        Families.find_leftmost_right_traverse,
+        Families.find_leftmost_right_build );
+      ( "left spine,  I_tail",
+        Machine.Tail,
+        Families.find_leftmost_left_traverse,
+        Families.find_leftmost_left_build );
+      ( "left spine,  I_gc",
+        Machine.Gc,
+        Families.find_leftmost_left_traverse,
+        Families.find_leftmost_left_build );
+    ];
+  print_newline ();
+  print_endline "reading: under I_tail the right-spine row is flat — each";
+  print_endline "failure continuation dies as the next is created, so the";
+  print_endline "search runs in constant control space no matter how many";
+  print_endline "right edges the tree has. Under I_gc every (tail) call";
+  print_endline "still pushes a frame, so the same search grows linearly.";
+  print_endline "Left edges genuinely chain continuations: the left-spine";
+  print_endline "rows grow under every variant, exactly as §4 predicts."

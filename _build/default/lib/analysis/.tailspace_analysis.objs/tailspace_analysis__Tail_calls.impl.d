@@ -1,0 +1,1 @@
+lib/analysis/tail_calls.ml: List Map Option String Tailspace_ast Tailspace_expander

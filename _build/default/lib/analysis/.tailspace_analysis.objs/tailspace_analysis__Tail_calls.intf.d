@@ -1,0 +1,1 @@
+lib/analysis/tail_calls.mli: Tailspace_ast

@@ -1,0 +1,90 @@
+module Ast = Tailspace_ast.Ast
+module Smap = Map.Make (String)
+
+type counts = {
+  calls : int;
+  tail_calls : int;
+  self_tail_calls : int;
+  known_calls : int;
+}
+
+let zero = { calls = 0; tail_calls = 0; self_tail_calls = 0; known_calls = 0 }
+
+let add a b =
+  {
+    calls = a.calls + b.calls;
+    tail_calls = a.tail_calls + b.tail_calls;
+    self_tail_calls = a.self_tail_calls + b.self_tail_calls;
+    known_calls = a.known_calls + b.known_calls;
+  }
+
+(* Collect [set! x (lambda ...)] bindings in the current scope — the
+   shape the expander emits for define/letrec/named let. Inner lambda
+   bodies are separate scopes and are not scanned. *)
+let rec scan_sets known e =
+  match (e : Ast.expr) with
+  | Ast.Set (x, Ast.Lambda l) -> Smap.add x l known
+  | Ast.Set (_, e0) -> scan_sets known e0
+  | Ast.If (e0, e1, e2) -> scan_sets (scan_sets (scan_sets known e0) e1) e2
+  | Ast.Call (f, args) -> List.fold_left scan_sets (scan_sets known f) args
+  | Ast.Quote _ | Ast.Var _ | Ast.Lambda _ -> known
+
+let shadow known (l : Ast.lambda) =
+  let bound = match l.rest with Some r -> r :: l.params | None -> l.params in
+  List.fold_left (fun m x -> Smap.remove x m) known bound
+
+(* [self] is the innermost *named* procedure (physical identity);
+   immediately-applied lambdas — the expander's encoding of let, begin
+   and friends — are transparent: their bodies keep the enclosing
+   procedure as self and inherit the call's tail-ness, matching the
+   source-level reading of Definition 1. *)
+let analyze expr =
+  let acc = ref zero in
+  let bump f = acc := f !acc in
+  let rec walk e ~tail ~known ~self =
+    match (e : Ast.expr) with
+    | Ast.Quote _ | Ast.Var _ -> ()
+    | Ast.Lambda l -> walk_procedure l ~known
+    | Ast.If (e0, e1, e2) ->
+        walk e0 ~tail:false ~known ~self;
+        walk e1 ~tail ~known ~self;
+        walk e2 ~tail ~known ~self
+    | Ast.Set (_, e0) -> walk e0 ~tail:false ~known ~self
+    | Ast.Call (f, args) ->
+        let target =
+          match f with
+          | Ast.Lambda l -> Some l
+          | Ast.Var x -> Smap.find_opt x known
+          | _ -> None
+        in
+        bump (fun c ->
+            {
+              calls = c.calls + 1;
+              tail_calls = (c.tail_calls + if tail then 1 else 0);
+              self_tail_calls =
+                (c.self_tail_calls
+                + if tail && Option.is_some target && Option.is_some self
+                     && Option.get target == Option.get self
+                  then 1
+                  else 0);
+              known_calls = (c.known_calls + if Option.is_some target then 1 else 0);
+            });
+        List.iter (fun a -> walk a ~tail:false ~known ~self) args;
+        (match f with
+        | Ast.Lambda l ->
+            (* direct application: a let-like binding form *)
+            let known = scan_sets (shadow known l) l.body in
+            walk l.body ~tail ~known ~self
+        | f -> walk f ~tail:false ~known ~self)
+  and walk_procedure l ~known =
+    let known = scan_sets (shadow known l) l.body in
+    walk l.body ~tail:true ~known ~self:(Some l)
+  in
+  walk expr ~tail:false ~known:Smap.empty ~self:None;
+  !acc
+
+let analyze_source src =
+  analyze (Tailspace_expander.Expand.program_of_string src)
+
+let percent part whole =
+  if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole

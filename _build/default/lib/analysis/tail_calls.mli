@@ -1,0 +1,44 @@
+(** Static tail-call analysis (Definitions 1 and 2, Figure 2).
+
+    Definition 1: the body of a lambda expression is a tail expression;
+    both arms of a tail [if] are tail expressions; nothing else is.
+    Definition 2: a tail call is a tail expression that is a procedure
+    call.
+
+    Figure 2 reports, for two compilers' workloads, the static frequency
+    of procedure calls, tail calls, and self-tail calls. This module
+    recomputes those statistics for any Core Scheme program; the
+    experiment harness runs it over the shipped corpus.
+
+    Self-tail calls are detected as in Twobit: a tail call whose operator
+    is an identifier currently bound — by an enclosing [lambda] reached
+    through a [letrec]-style binding — to the lambda being analyzed. The
+    analyzer tracks [(set! f (lambda ...))] and [((lambda (f ...) ...)
+    (quote #!undefined) ...)] shapes, which is what the expander emits
+    for [define]/[letrec]/named [let], so recursion introduced by any of
+    those forms is recognized. Calls whose operator is a lambda
+    expression or a known-bound identifier are additionally classified as
+    "calls to known procedures" (the last column of Figure 2's
+    discussion in §14). *)
+
+type counts = {
+  calls : int;  (** all procedure calls *)
+  tail_calls : int;  (** calls in tail position *)
+  self_tail_calls : int;
+      (** tail calls that reenter the procedure they occur in *)
+  known_calls : int;
+      (** calls whose operator statically resolves to a lambda *)
+}
+
+val zero : counts
+val add : counts -> counts -> counts
+
+val analyze : Tailspace_ast.Ast.expr -> counts
+(** Statistics for one Core Scheme expression. *)
+
+val analyze_source : string -> counts
+(** Parse, expand (so derived forms contribute the calls they really
+    compile to), and analyze a whole program. *)
+
+val percent : int -> int -> float
+(** [percent part whole] in 0..100; 0 when [whole] is 0. *)

@@ -1,0 +1,1 @@
+lib/ast/ast.ml: Hashtbl List Set String Tailspace_bignum Tailspace_sexp

@@ -1,0 +1,1 @@
+lib/ast/ast.mli: Format Set Tailspace_bignum Tailspace_sexp

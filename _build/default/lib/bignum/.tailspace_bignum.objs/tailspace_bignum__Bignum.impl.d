@@ -1,0 +1,1 @@
+lib/bignum/bignum.ml: Array Buffer Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,341 @@
+(* Sign-magnitude bignums over base-2^30 limbs, little-endian.
+   Invariants: [mag] has no trailing (most-significant) zero limbs, and
+   [sign = 0] iff [mag] is empty. Every constructor goes through [make],
+   so structural equality coincides with numeric equality. *)
+
+let limb_bits = 30
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize_mag mag =
+  let n = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let hi = top (n - 1) in
+  if hi < 0 then [||] else if hi = n - 1 then mag else Array.sub mag 0 (hi + 1)
+
+let make sign mag =
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else
+    let sign = if n < 0 then -1 else 1 in
+    (* min_int has no positive native counterpart; peel limbs with
+       negative arithmetic to stay in range. *)
+    let rec limbs acc n =
+      if n = 0 then acc
+      else limbs ((-(n mod base)) :: acc) (n / base)
+    in
+    let l = if n < 0 then limbs [] n else limbs [] (-n) in
+    make sign (Array.of_list (List.rev l))
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let sign t = t.sign
+let is_zero t = t.sign = 0
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+(* |a| + |b| *)
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  r
+
+(* |a| - |b|, requires |a| >= |b| *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  r
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
+  else
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
+    else make b.sign (sub_mag b.mag a.mag)
+
+let neg a = if a.sign = 0 then a else { a with sign = -a.sign }
+let abs a = if a.sign < 0 then neg a else a
+let sub a b = add a (neg b)
+let succ a = add a one
+let pred a = sub a one
+
+(* Schoolbook multiplication. Limbs are < 2^30 so a limb product plus
+   carries stays below 2^62, within native-int range. *)
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let carry = ref 0 in
+    let ai = a.(i) in
+    for j = 0 to lb - 1 do
+      let acc = r.(i + j) + (ai * b.(j)) + !carry in
+      r.(i + j) <- acc land limb_mask;
+      carry := acc lsr limb_bits
+    done;
+    r.(i + lb) <- r.(i + lb) + !carry
+  done;
+  r
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let bit_length_mag mag =
+  let n = Array.length mag in
+  if n = 0 then 0
+  else
+    let top = mag.(n - 1) in
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    ((n - 1) * limb_bits) + bits 0 top
+
+let bit_length t = bit_length_mag t.mag
+
+let shift_left_mag mag k =
+  if Array.length mag = 0 then mag
+  else
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let n = Array.length mag in
+    let r = Array.make (n + limbs + 1) 0 in
+    for i = 0 to n - 1 do
+      let v = mag.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+      r.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    r
+
+let shift_right_mag mag k =
+  let limbs = k / limb_bits and bits = k mod limb_bits in
+  let n = Array.length mag in
+  if limbs >= n then [||]
+  else begin
+    let r = Array.make (n - limbs) 0 in
+    for i = 0 to n - limbs - 1 do
+      let lo = mag.(i + limbs) lsr bits in
+      let hi =
+        if bits > 0 && i + limbs + 1 < n then
+          (mag.(i + limbs + 1) lsl (limb_bits - bits)) land limb_mask
+        else 0
+      in
+      r.(i) <- lo lor hi
+    done;
+    r
+  end
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Bignum.shift_left"
+  else if a.sign = 0 || k = 0 then a
+  else make a.sign (shift_left_mag a.mag k)
+
+let shift_right a k =
+  if k < 0 then invalid_arg "Bignum.shift_right"
+  else if a.sign = 0 || k = 0 then a
+  else make a.sign (shift_right_mag a.mag k)
+
+(* Magnitude division by shift-and-subtract, one bit at a time from the
+   top. O(bits(a) * limbs(a)) — plenty fast for the machine's workloads,
+   whose numbers stay small. *)
+let divmod_mag a b =
+  let c = cmp_mag a b in
+  if c < 0 then ([||], a)
+  else begin
+    let shift = bit_length_mag a - bit_length_mag b in
+    let q = Array.make ((shift / limb_bits) + 1) 0 in
+    let rem = ref a in
+    for k = shift downto 0 do
+      let d = normalize_mag (shift_left_mag b k) in
+      if cmp_mag !rem d >= 0 then begin
+        rem := normalize_mag (sub_mag !rem d);
+        q.(k / limb_bits) <- q.(k / limb_bits) lor (1 lsl (k mod limb_bits))
+      end
+    done;
+    (q, !rem)
+  end
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else
+    let qm, rm = divmod_mag a.mag b.mag in
+    (make (a.sign * b.sign) qm, make a.sign rm)
+
+let quotient a b = fst (divmod a b)
+let remainder a b = snd (divmod a b)
+
+let modulo a b =
+  let r = remainder a b in
+  if r.sign = 0 || r.sign = b.sign then r else add r b
+
+let pow base_v n =
+  if n < 0 then invalid_arg "Bignum.pow"
+  else
+    let rec go acc b n =
+      if n = 0 then acc
+      else
+        let acc = if n land 1 = 1 then mul acc b else acc in
+        go acc (mul b b) (n lsr 1)
+    in
+    go one base_v n
+
+(* Fast paths on small ints, used by decimal conversion. *)
+let mul_small_mag mag m =
+  let n = Array.length mag in
+  let r = Array.make (n + 2) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let acc = (mag.(i) * m) + !carry in
+    r.(i) <- acc land limb_mask;
+    carry := acc lsr limb_bits
+  done;
+  let i = ref n in
+  while !carry <> 0 do
+    r.(!i) <- !carry land limb_mask;
+    carry := !carry lsr limb_bits;
+    incr i
+  done;
+  r
+
+let add_small_mag mag m =
+  let n = Array.length mag in
+  let r = Array.make (n + 1) 0 in
+  Array.blit mag 0 r 0 n;
+  let carry = ref m in
+  let i = ref 0 in
+  while !carry <> 0 do
+    let acc = r.(!i) + !carry in
+    r.(!i) <- acc land limb_mask;
+    carry := acc lsr limb_bits;
+    incr i
+  done;
+  r
+
+(* Divide magnitude by a small positive int; returns quotient mag and the
+   int remainder. Limbs < 2^30 and divisors <= 10^9 < 2^30 keep the
+   intermediate [acc] below 2^60. *)
+let divmod_small_mag mag m =
+  let n = Array.length mag in
+  let q = Array.make n 0 in
+  let rem = ref 0 in
+  for i = n - 1 downto 0 do
+    let acc = (!rem lsl limb_bits) lor mag.(i) in
+    q.(i) <- acc / m;
+    rem := acc mod m
+  done;
+  (q, !rem)
+
+let decimal_chunk = 1_000_000_000 (* largest power of 10 below 2^30 *)
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec chunks mag acc =
+      if Array.length (normalize_mag mag) = 0 then acc
+      else
+        let q, r = divmod_small_mag mag decimal_chunk in
+        chunks (normalize_mag q) (r :: acc)
+    in
+    (match chunks t.mag [] with
+    | [] -> assert false
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    let digits = Buffer.contents buf in
+    if t.sign < 0 then "-" ^ digits else digits
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bignum.of_string: empty string";
+  let sign, start =
+    match s.[0] with
+    | '-' -> (-1, 1)
+    | '+' -> (1, 1)
+    | _ -> (1, 0)
+  in
+  if start >= len then invalid_arg "Bignum.of_string: no digits";
+  let mag = ref [||] in
+  let i = ref start in
+  while !i < len do
+    let chunk_len = Stdlib.min 9 (len - !i) in
+    let chunk = String.sub s !i chunk_len in
+    String.iter
+      (fun c ->
+        if c < '0' || c > '9' then
+          invalid_arg ("Bignum.of_string: bad digit " ^ String.make 1 c))
+      chunk;
+    let m = int_of_string chunk in
+    let scale = int_of_float (10. ** float_of_int chunk_len) in
+    mag := add_small_mag (mul_small_mag !mag scale) m;
+    i := !i + chunk_len
+  done;
+  make sign !mag
+
+let to_int t =
+  (* 62 bits always fits; anything longer may not. *)
+  if bit_length t <= 62 then begin
+    let v = ref 0 in
+    for i = Array.length t.mag - 1 downto 0 do
+      v := (!v lsl limb_bits) lor t.mag.(i)
+    done;
+    Some (if t.sign < 0 then - !v else !v)
+  end
+  else None
+
+let to_int_exn t =
+  match to_int t with
+  | Some n -> n
+  | None -> failwith ("Bignum.to_int_exn: too large: " ^ to_string t)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let hash t = Hashtbl.hash (t.sign, t.mag)

@@ -1,0 +1,1 @@
+lib/core/answer.ml: Array Buffer Format Store String Tailspace_sexp Types

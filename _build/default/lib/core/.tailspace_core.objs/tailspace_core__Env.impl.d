@@ -1,0 +1,1 @@
+lib/core/env.ml: List Map String Tailspace_ast

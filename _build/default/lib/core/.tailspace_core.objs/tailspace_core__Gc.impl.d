@@ -1,0 +1,1 @@
+lib/core/gc.ml: Array Hashtbl List Store Types

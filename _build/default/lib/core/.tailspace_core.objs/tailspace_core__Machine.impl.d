@@ -1,0 +1,1 @@
+lib/core/machine.ml: Answer Array Buffer Env Gc Hashtbl Int List Prim Printf Space Stdlib Store String Tailspace_ast Tailspace_expander Tailspace_sexp Types

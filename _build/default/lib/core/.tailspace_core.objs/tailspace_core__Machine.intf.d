@@ -1,0 +1,1 @@
+lib/core/machine.mli: Result Store Tailspace_ast Types

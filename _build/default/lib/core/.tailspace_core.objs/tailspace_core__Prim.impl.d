@@ -1,0 +1,1 @@
+lib/core/prim.ml: Answer Array Buffer Char Format Hashtbl List Store String Tailspace_bignum Types

@@ -1,0 +1,1 @@
+lib/core/prim.mli: Buffer Store Types

@@ -1,0 +1,1 @@
+lib/core/store.ml: Int List Map Types

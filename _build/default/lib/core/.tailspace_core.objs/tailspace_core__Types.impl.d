@@ -1,0 +1,1 @@
+lib/core/types.ml: Array Env List String Tailspace_ast Tailspace_bignum

@@ -1,0 +1,1 @@
+lib/core/types.mli: Env Tailspace_ast Tailspace_bignum

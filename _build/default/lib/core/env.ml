@@ -1,0 +1,51 @@
+module Smap = Map.Make (String)
+module Iset = Tailspace_ast.Ast.Iset
+
+type loc = int
+type t = { base : loc Smap.t; over : loc Smap.t; size : int }
+
+let empty = { base = Smap.empty; over = Smap.empty; size = 0 }
+let is_empty t = t.size = 0
+let cardinal t = t.size
+
+let find_opt x t =
+  match Smap.find_opt x t.over with
+  | Some _ as hit -> hit
+  | None -> Smap.find_opt x t.base
+
+let mem x t = Smap.mem x t.over || Smap.mem x t.base
+
+let add x a t =
+  let bound = mem x t in
+  { t with over = Smap.add x a t.over; size = t.size + (if bound then 0 else 1) }
+
+let add_list bs t = List.fold_left (fun acc (x, a) -> add x a acc) t bs
+
+let rebase t =
+  let merged = Smap.union (fun _ over _base -> Some over) t.over t.base in
+  { base = merged; over = Smap.empty; size = Smap.cardinal merged }
+
+let restrict t xs =
+  let keep m acc =
+    Smap.fold
+      (fun x l acc ->
+        if Iset.mem x xs && not (Smap.mem x acc) then Smap.add x l acc else acc)
+      m acc
+  in
+  let over = keep t.base (keep t.over Smap.empty) in
+  { base = Smap.empty; over; size = Smap.cardinal over }
+
+let iter f t =
+  Smap.iter f t.over;
+  Smap.iter (fun x l -> if not (Smap.mem x t.over) then f x l) t.base
+
+let fold f t init =
+  let acc = Smap.fold f t.over init in
+  Smap.fold (fun x l acc -> if Smap.mem x t.over then acc else f x l acc) t.base acc
+
+let bindings t = fold (fun x l acc -> (x, l) :: acc) t []
+let locations t = fold (fun _ l acc -> l :: acc) t []
+let iter_overlay f t = Smap.iter f t.over
+let has_base t = not (Smap.is_empty t.base)
+let base_eq a b = a.base == b.base
+let iter_base f t = Smap.iter f t.base

@@ -1,0 +1,61 @@
+(** Environments: finite maps from identifiers to store locations
+    ([rho : Identifier -> Location], Figure 4).
+
+    Representation: a shared immutable {e base} (the initial global
+    environment, identical — physically — across every environment in a
+    configuration) plus an {e overlay} of bindings added since. The split
+    is invisible to lookup semantics; it exists so the garbage collector
+    and the [I_stack] occurs-check can trace the hundred-odd global
+    bindings once per collection instead of once per frame. The flat
+    space model's [|Dom rho|] is cached for O(1) access. *)
+
+type loc = int
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** [|Dom rho|], O(1). *)
+
+val find_opt : string -> t -> loc option
+val mem : string -> t -> bool
+
+val add : string -> loc -> t -> t
+(** [add x a rho] is [rho[x -> a]] (shadows any base binding). *)
+
+val add_list : (string * loc) list -> t -> t
+
+val rebase : t -> t
+(** Collapse every binding into the base. The machine calls this once,
+    after loading the prelude, so that all run-time environments share
+    one physical base. *)
+
+val restrict : t -> Tailspace_ast.Ast.Iset.t -> t
+(** [restrict rho xs] is [rho | (Dom rho ∩ xs)] — the operation the
+    [I_free]/[I_sfs] rules apply. The result is base-less. *)
+
+val bindings : t -> (string * loc) list
+(** Shadow-aware: one pair per identifier in [Dom rho]. *)
+
+val locations : t -> loc list
+
+val iter : (string -> loc -> unit) -> t -> unit
+(** Shadow-aware iteration over [graph(rho)]. *)
+
+val fold : (string -> loc -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** {1 Collector support} *)
+
+val iter_overlay : (string -> loc -> unit) -> t -> unit
+(** Only the overlay. May include bindings that shadow the base; the
+    collector over-approximates by tracing both, which can pin a
+    shadowed global cell — a bounded, documented overcount. *)
+
+val has_base : t -> bool
+val base_eq : t -> t -> bool
+(** Physical identity of the bases; the collector's once-per-base
+    dedup key. *)
+
+val iter_base : (string -> loc -> unit) -> t -> unit

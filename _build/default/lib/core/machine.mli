@@ -1,0 +1,150 @@
+(** The family of reference implementations (§§7-10) and the space
+    consumption measurement of §12.
+
+    A machine is a {!variant} plus policies resolving the semantics'
+    nondeterminism (argument evaluation order [pi], the [I_stack]
+    deletion set [A], the [random] seed). [run] executes a space-efficient
+    computation (Definition 21): the garbage-collection rule is applied
+    as required, and the reported peak is exactly
+    [sup {space(C_i)}] over the computation — the lazy collection
+    schedule never lets garbage inflate the peak (a collection runs
+    whenever the tracked space would exceed the running peak).
+
+    The space consumption of Definition 23 is [|P| + peak]; {!run}
+    reports both parts. *)
+
+type variant = Tail | Gc | Stack | Evlis | Free | Sfs
+
+val all_variants : variant list
+val variant_name : variant -> string
+(** ["tail"], ["gc"], ["stack"], ["evlis"], ["free"], ["sfs"]. *)
+
+val variant_of_name : string -> variant option
+
+(** Argument evaluation order: the paper's nondeterministic permutation
+    [pi], resolved by policy. *)
+type perm_policy =
+  | Left_to_right
+  | Right_to_left
+  | Seeded of int  (** a deterministic shuffle per call site *)
+
+(** How [I_stack] chooses the deletion set [A] at each call.
+    [Algol] deletes every location bound by the call and reports a
+    dangling pointer (stuck) if the side condition fails — Algol-like
+    stack allocation, which §8 notes determines [S_stack]. [Safe_deletion]
+    deletes the maximal subset that satisfies the side condition. *)
+type stack_policy = Algol | Safe_deletion
+
+(** Ablation toggle (experiment E8): which environment [I_gc]/[I_stack]
+    return frames capture. [Closure_env] (default) is the reading under
+    which Theorem 25's first separation holds; [Register_env] is the
+    literal [rho'] of the typeset rule, under which a tail call's frame
+    pins the caller's locals and S_gc degenerates to S_stack's growth.
+    See DESIGN.md, "Faithfulness notes". *)
+type return_env = Closure_env | Register_env
+
+type t
+
+val create :
+  ?variant:variant ->
+  ?perm:perm_policy ->
+  ?stack_policy:stack_policy ->
+  ?return_env:return_env ->
+  ?evlis_drop_at_creation:bool ->
+  ?seed:int ->
+  unit ->
+  t
+(** A machine with its initial environment and store ([rho_0]/[sigma_0],
+    §12): primitives plus a Scheme-level prelude (list and vector
+    utilities) evaluated under this machine's own variant.
+    [evlis_drop_at_creation] is the second E8 ablation toggle: when
+    [false], [I_evlis] only drops the environment in the printed §9 push
+    rules, so nullary calls retain it and the tail/evlis separation
+    fails. Defaults: [Tail], [Left_to_right], [Safe_deletion],
+    [Closure_env], [true], seed 24054. *)
+
+val variant : t -> variant
+
+val initial : t -> Types.Env.t * Store.t
+(** The machine's [rho_0] and [sigma_0] (primitives + prelude), e.g. for
+    alternative evaluators over the same value domain. *)
+
+type outcome =
+  | Done of { value : Types.value; store : Store.t; answer : string }
+      (** final configuration; [answer] per Definition 11 *)
+  | Stuck of string
+      (** no rule applies: program error, or an [I_stack] dangling
+          pointer *)
+  | Out_of_fuel
+
+type result = {
+  outcome : outcome;
+  steps : int;
+  peak_space : int;
+      (** [sup space(C_i)] in the flat model (Figure 7), excluding the
+          [|P|] term *)
+  peak_linked : int option;
+      (** same in the linked model (Figure 8), when requested *)
+  program_size : int;  (** [|P|]: AST nodes of the expression run *)
+  gc_runs : int;
+  output : string;  (** whatever [display]/[write]/[newline] emitted *)
+}
+
+val space_consumption : result -> int
+(** [|P| + peak]: Definition 23's [S_X(P, D)] for the executed
+    computation. *)
+
+val run :
+  ?fuel:int ->
+  ?measure_linked:bool ->
+  ?gc_policy:[ `Exact | `Approximate ] ->
+  ?on_step:(steps:int -> space:int -> unit) ->
+  ?trace:(int -> string -> unit) ->
+  t ->
+  Tailspace_ast.Ast.expr ->
+  result
+(** Evaluate an expression from the initial configuration.
+    [measure_linked] additionally computes the linked-model peak, which
+    forces a collection at every step (slower). [`Exact] (default)
+    reports the true [sup space(C_i)]; [`Approximate] lets tracked space
+    overshoot the running peak by 12.5% (plus 64 words) before
+    collecting, so the reported peak may underestimate the sup by that
+    much — use it for large parameter sweeps where only the growth shape
+    matters. [on_step] receives the step index and the configuration's
+    flat space after any collection (a space profile to plot); [trace]
+    receives a one-line description of every configuration. Default
+    fuel: 20 million steps. *)
+
+val run_program :
+  ?fuel:int ->
+  ?measure_linked:bool ->
+  ?gc_policy:[ `Exact | `Approximate ] ->
+  ?on_step:(steps:int -> space:int -> unit) ->
+  ?trace:(int -> string -> unit) ->
+  t ->
+  program:Tailspace_ast.Ast.expr ->
+  input:Tailspace_ast.Ast.expr ->
+  result
+(** §12's convention: [program] evaluates to a procedure of one argument,
+    which is applied to [input]; runs [(program input)]. *)
+
+val run_string :
+  ?fuel:int ->
+  ?measure_linked:bool ->
+  ?gc_policy:[ `Exact | `Approximate ] ->
+  ?on_step:(steps:int -> space:int -> unit) ->
+  ?trace:(int -> string -> unit) ->
+  t ->
+  string ->
+  result
+(** Parse and expand a whole program (see
+    {!Tailspace_expander.Expand.program}) and run it. *)
+
+val eval_global : t -> Tailspace_ast.Ast.expr -> (Types.value * Store.t, string) Result.t
+(** Evaluate under the initial environment without measurement
+    (used by tests and the prelude loader). *)
+
+val define_global : t -> string -> Tailspace_ast.Ast.expr -> (unit, string) Result.t
+(** Evaluate and install a new global binding (top-level [define]
+    semantics: the name is in scope during the evaluation, so recursive
+    procedure definitions work). Mutates the machine's initial state. *)

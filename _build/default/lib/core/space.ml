@@ -1,0 +1,62 @@
+module Env = Types.Env
+
+type acc = {
+  bindings : (string * Types.loc, unit) Hashtbl.t;
+      (* the global binding set: each (identifier, location) pair counts
+         once per configuration *)
+  mutable words : int; (* all non-binding space *)
+}
+
+let add_env acc env =
+  Env.iter (fun x l -> Hashtbl.replace acc.bindings (x, l) ()) env
+
+(* A value in the accumulator or in a store cell. Closures cost one word
+   plus shared bindings; escapes cost one word plus their continuation
+   (walked with per-frame overheads and shared bindings). Values held in
+   push/call frames are *not* passed here: Figures 7 and 8 charge them
+   exactly one word via the frame's [n] term, and counting more would
+   break the pointwise bound U_X <= S_X of §13. *)
+let rec add_value acc (v : Types.value) =
+  match v with
+  | Closure (_, _, env) ->
+      add_env acc env;
+      acc.words <- acc.words + 1
+  | Escape (_, k) ->
+      acc.words <- acc.words + 1;
+      add_cont acc k
+  | v -> acc.words <- acc.words + Types.value_space v
+
+(* Frame overheads per Figure 8: each frame costs one word plus, for push
+   and call frames, one word per held expression or value; saved
+   environments contribute bindings only. *)
+and add_cont acc (k : Types.cont) =
+  match k with
+  | Halt -> acc.words <- acc.words + 1
+  | Select { env; next; _ } | Assign { env; next; _ } ->
+      add_env acc env;
+      acc.words <- acc.words + 1;
+      add_cont acc next
+  | Push { remaining; evaluated; env; next; _ } ->
+      add_env acc env;
+      acc.words <-
+        acc.words + 1 + List.length remaining + List.length evaluated;
+      add_cont acc next
+  | Call { vals; next; _ } ->
+      acc.words <- acc.words + 1 + List.length vals;
+      add_cont acc next
+  | Return { env; next; _ } | Return_stack { env; next; _ } ->
+      add_env acc env;
+      acc.words <- acc.words + 1;
+      add_cont acc next
+
+let linked_config_space ~control ~env ~cont ~store =
+  let acc = { bindings = Hashtbl.create 64; words = 0 } in
+  add_env acc env;
+  (match control with `Expr _ -> () | `Value v -> add_value acc v);
+  add_cont acc cont;
+  Store.iter
+    (fun _ v ->
+      acc.words <- acc.words + 1;
+      add_value acc v)
+    store;
+  acc.words + Hashtbl.length acc.bindings

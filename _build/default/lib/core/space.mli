@@ -1,0 +1,24 @@
+(** The linked-environment space model (Figure 8, §13).
+
+    In the linked model each binding — a pair of an identifier and a
+    location — is counted {e once per configuration}, no matter how many
+    environments (the register, saved continuation environments, closure
+    environments anywhere in the configuration or store) contain it;
+    environments are shared rather than copied. Everything else is
+    charged as in the flat model, except that closures cost 1 word plus
+    their (shared) bindings and each continuation frame costs its
+    non-environment overhead.
+
+    This yields the [U_X] space consumption functions; Theorem 26 shows
+    [O(U_tail)] and [O(U_evlis)] are incomparable with [O(S_free)] and
+    [O(S_sfs)], which experiment E4 reproduces. *)
+
+val linked_config_space :
+  control:[ `Expr of Tailspace_ast.Ast.expr | `Value of Types.value ] ->
+  env:Types.Env.t ->
+  cont:Types.cont ->
+  store:Store.t ->
+  int
+(** The linked space of a configuration. The store should be fully
+    garbage collected first, since Definition 21 measures space-efficient
+    computations only. *)

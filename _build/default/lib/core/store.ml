@@ -1,0 +1,58 @@
+module Imap = Map.Make (Int)
+
+(* Each cell remembers the flat space of its value so removals and
+   overwrites can adjust the running total without recomputation. *)
+type cell = { v : Types.value; sz : int }
+type t = { cells : cell Imap.t; space : int; next : Types.loc }
+
+let empty = { cells = Imap.empty; space = 0; next = 0 }
+
+let alloc t v =
+  let sz = Types.value_space v in
+  ( {
+      cells = Imap.add t.next { v; sz } t.cells;
+      space = t.space + 1 + sz;
+      next = t.next + 1;
+    },
+    t.next )
+
+let alloc_many t vs =
+  let t, rev_locs =
+    List.fold_left
+      (fun (t, locs) v ->
+        let t, l = alloc t v in
+        (t, l :: locs))
+      (t, []) vs
+  in
+  (t, List.rev rev_locs)
+
+let find_opt t l =
+  match Imap.find_opt l t.cells with Some c -> Some c.v | None -> None
+
+let mem t l = Imap.mem l t.cells
+
+let set t l v =
+  match Imap.find_opt l t.cells with
+  | None -> invalid_arg "Store.set: unallocated location"
+  | Some old ->
+      let sz = Types.value_space v in
+      {
+        t with
+        cells = Imap.add l { v; sz } t.cells;
+        space = t.space - old.sz + sz;
+      }
+
+let remove_all t locs =
+  List.fold_left
+    (fun t l ->
+      match Imap.find_opt l t.cells with
+      | None -> t
+      | Some c ->
+          { t with cells = Imap.remove l t.cells; space = t.space - 1 - c.sz })
+    t locs
+
+let cardinal t = Imap.cardinal t.cells
+let space t = t.space
+let iter f t = Imap.iter (fun l c -> f l c.v) t.cells
+let fold f t init = Imap.fold (fun l c acc -> f l c.v acc) t.cells init
+let next_loc t = t.next

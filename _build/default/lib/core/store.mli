@@ -1,0 +1,39 @@
+(** The store [sigma : Location -> Value] (Figure 4), with the flat space
+    total [space(sigma) = sum (1 + space(sigma(alpha)))] (Figure 7)
+    maintained incrementally so that measuring a configuration at every
+    machine step is O(1).
+
+    The store is a persistent map: the garbage-collection rule and the
+    [I_stack] deletion rule produce new stores without mutation, exactly
+    like the small-step semantics. Locations are allocated from a
+    monotone counter, which trivially satisfies the freshness side
+    conditions ("alpha does not occur within L, rho, kappa, sigma"). *)
+
+type t
+
+val empty : t
+
+val alloc : t -> Types.value -> t * Types.loc
+(** Fresh location initialized to the given value. *)
+
+val alloc_many : t -> Types.value list -> t * Types.loc list
+
+val find_opt : t -> Types.loc -> Types.value option
+
+val set : t -> Types.loc -> Types.value -> t
+(** [sigma[alpha -> v]]; the space total is adjusted by the difference.
+    @raise Invalid_argument if the location is not in the store. *)
+
+val mem : t -> Types.loc -> bool
+
+val remove_all : t -> Types.loc list -> t
+(** Used by the [I_stack] deletion rule and by the collector's sweep. *)
+
+val cardinal : t -> int
+val space : t -> int  (** O(1). *)
+
+val iter : (Types.loc -> Types.value -> unit) -> t -> unit
+val fold : (Types.loc -> Types.value -> 'a -> 'a) -> t -> 'a -> 'a
+
+val next_loc : t -> Types.loc
+(** The next location the allocator will hand out (diagnostics only). *)

@@ -1,0 +1,109 @@
+(** Values and continuations of the reference machines (Figure 4), with
+    the flat space model of Figure 7 built in.
+
+    Every continuation node caches its own flat space so that measuring a
+    configuration at every machine step costs O(1); the sizes are fixed at
+    construction, which is sound because continuations are immutable. *)
+
+module Bignum = Tailspace_bignum.Bignum
+module Ast = Tailspace_ast.Ast
+module Env : module type of Env
+
+type loc = Env.loc
+
+type value =
+  | Bool of bool
+  | Int of Bignum.t
+  | Sym of string
+  | Str of string  (** immutable; no store identity (documented deviation) *)
+  | Char of char
+  | Nil
+  | Unspecified
+  | Undefined
+      (** content of a letrec-bound location before initialization;
+          reading it through a variable reference is stuck (§7) *)
+  | Pair of loc * loc  (** car and cdr cells live in the store *)
+  | Vector of loc array
+  | Closure of loc * Ast.lambda * Env.t
+      (** [CLOSURE:(alpha, L, rho)]; [alpha] is the identity tag the
+          lambda rule allocates (the "bug in the design of Scheme") *)
+  | Escape of loc * cont  (** [ESCAPE:(alpha, kappa)], from [call/cc] *)
+  | Primop of string  (** looked up in {!Prim}'s table by name *)
+
+(** Continuations (Figure 4). [Push] carries original argument positions
+    so that any evaluation permutation [pi] can reassemble
+    [(v0, v1, ...)] in operator/operand order; the paper's
+    [reverse(pi^-1(...))] bookkeeping is represented by the index
+    pairs. *)
+and cont =
+  | Halt
+  | Select of {
+      e1 : Ast.expr;
+      e2 : Ast.expr;
+      env : Env.t;
+      next : cont;
+      size : int;
+    }
+  | Assign of { id : string; env : Env.t; next : cont; size : int }
+  | Push of {
+      pending : int;  (** original position of the expression being evaluated *)
+      remaining : (int * Ast.expr) list;
+      evaluated : (int * value) list;
+      env : Env.t;
+      next : cont;
+      size : int;
+    }
+  | Call of { vals : value list; next : cont; size : int }
+      (** operands in operator/operand order; the operator is in the
+          accumulator *)
+  | Return of { env : Env.t; next : cont; size : int }  (** [I_gc] *)
+  | Return_stack of {
+      dels : loc list;  (** the nondeterministically chosen set [A] *)
+      env : Env.t;
+      next : cont;
+      size : int;
+    }  (** [I_stack] *)
+
+(** {1 Smart constructors} (compute the cached flat size) *)
+
+val select : e1:Ast.expr -> e2:Ast.expr -> env:Env.t -> next:cont -> cont
+val assign : id:string -> env:Env.t -> next:cont -> cont
+
+val push :
+  pending:int ->
+  remaining:(int * Ast.expr) list ->
+  evaluated:(int * value) list ->
+  env:Env.t ->
+  next:cont ->
+  cont
+
+val call : vals:value list -> next:cont -> cont
+val return_gc : env:Env.t -> next:cont -> cont
+val return_stack : dels:loc list -> env:Env.t -> next:cont -> cont
+
+(** {1 Flat space model (Figure 7)} *)
+
+val cont_space : cont -> int
+(** O(1): reads the cached size. *)
+
+val value_space : value -> int
+(** [space(v)]: 1 for atoms, [1 + bitlength z] for integers,
+    [1 + n] for vectors, [1 + |Dom rho|] for closures, [3] for pairs,
+    [1 + length] for strings, [1 + space(kappa)] for escapes. *)
+
+val value_of_const : Ast.const -> value
+(** Constants denote themselves (first reduction rule). *)
+
+(** {1 Structure} *)
+
+val value_locs : value -> loc list
+(** Locations occurring directly in a value (one level; not through the
+    store). *)
+
+val cont_locs : cont -> loc list
+(** Locations occurring directly in a continuation: the codomains of its
+    saved environments, locations of its held values, recursively through
+    [next], plus any [Return_stack] deletion sets. *)
+
+val tag_of_value : value -> string
+(** Short constructor name for error messages ("pair", "closure", ...). *)

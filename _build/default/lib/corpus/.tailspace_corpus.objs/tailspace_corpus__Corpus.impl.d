@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Hashtbl List String Tailspace_ast Tailspace_expander

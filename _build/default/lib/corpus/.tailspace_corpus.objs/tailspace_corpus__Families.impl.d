@@ -1,0 +1,1 @@
+lib/corpus/families.ml: Buffer Printf

@@ -1,0 +1,537 @@
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+  checks : (int * string) list;
+  slow : bool;
+}
+
+let entry ?(slow = false) name description source checks =
+  { name; description; source; checks; slow }
+
+let all =
+  [
+    entry "countdown" "pure iterative loop expressed by syntactic recursion"
+      {|
+(define (loop n) (if (zero? n) 'done (loop (- n 1))))
+loop
+|}
+      [ (0, "done"); (100, "done") ];
+    entry "fib-naive" "doubly recursive Fibonacci (non-tail)"
+      {|
+(define (fib n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+fib
+|}
+      [ (10, "55"); (15, "610") ];
+    entry "fib-iter" "accumulator-passing Fibonacci (all tail calls)"
+      {|
+(define (fib n)
+  (define (go i a b) (if (= i n) a (go (+ i 1) b (+ a b))))
+  (go 0 0 1))
+fib
+|}
+      [ (10, "55"); (60, "1548008755920") ];
+    entry "fact" "factorial, exercising bignum arithmetic"
+      {|
+(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))
+fact
+|}
+      [ (5, "120"); (25, "15511210043330985984000000") ];
+    entry "ack" "Ackermann A(2, n): deep non-tail recursion" ~slow:true
+      {|
+(define (ack m n)
+  (cond ((zero? m) (+ n 1))
+        ((zero? n) (ack (- m 1) 1))
+        (else (ack (- m 1) (ack m (- n 1))))))
+(lambda (n) (ack 2 n))
+|}
+      [ (3, "9"); (6, "15") ];
+    entry "tak" "Takeuchi function on (n, 2n/3, n/3)" ~slow:true
+      {|
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(lambda (n) (tak n (quotient (* 2 n) 3) (quotient n 3)))
+|}
+      [ (6, "3"); (9, "6") ];
+    entry "even-odd" "mutual tail recursion across two procedures"
+      {|
+(define (even? n) (if (zero? n) #t (odd? (- n 1))))
+(define (odd? n) (if (zero? n) #f (even? (- n 1))))
+even?
+|}
+      [ (100, "#t"); (101, "#f") ];
+    entry "sieve" "sieve of Eratosthenes over a vector; answer is pi(n)"
+      {|
+(define (sieve n)
+  (let ((v (make-vector (+ n 1) #t)))
+    (define (strike i step)
+      (when (<= i n)
+        (vector-set! v i #f)
+        (strike (+ i step) step)))
+    (define (scan i count)
+      (cond ((> i n) count)
+            ((vector-ref v i)
+             (strike (* i i) i)
+             (scan (+ i 1) (+ count 1)))
+            (else (scan (+ i 1) count))))
+    (if (< n 2) 0 (scan 2 0))))
+sieve
+|}
+      [ (10, "4"); (100, "25") ];
+    entry "quicksort" "quicksort over a pseudo-random list"
+      {|
+(define (make-list n seed)
+  (if (zero? n)
+      '()
+      (let ((seed (modulo (+ (* seed 1103515245) 12345) 2147483648)))
+        (cons (modulo seed 1000) (make-list (- n 1) seed)))))
+(define (quicksort lst)
+  (if (null? lst)
+      '()
+      (let ((pivot (car lst)) (rest (cdr lst)))
+        (append
+         (quicksort (filter (lambda (x) (< x pivot)) rest))
+         (cons pivot
+               (quicksort (filter (lambda (x) (not (< x pivot))) rest)))))))
+(define (sorted? lst)
+  (cond ((null? lst) #t)
+        ((null? (cdr lst)) #t)
+        ((<= (car lst) (cadr lst)) (sorted? (cdr lst)))
+        (else #f)))
+(lambda (n)
+  (let ((s (quicksort (make-list n 42))))
+    (if (sorted? s) (length s) 'unsorted)))
+|}
+      [ (0, "0"); (30, "30") ];
+    entry "mergesort" "bottom-up merge sort on lists"
+      {|
+(define (make-list n seed)
+  (if (zero? n)
+      '()
+      (let ((seed (modulo (+ (* seed 69069) 1) 1048576)))
+        (cons (modulo seed 997) (make-list (- n 1) seed)))))
+(define (merge a b)
+  (cond ((null? a) b)
+        ((null? b) a)
+        ((<= (car a) (car b)) (cons (car a) (merge (cdr a) b)))
+        (else (cons (car b) (merge a (cdr b))))))
+(define (split lst)
+  (if (or (null? lst) (null? (cdr lst)))
+      (cons lst '())
+      (let ((rest (split (cddr lst))))
+        (cons (cons (car lst) (car rest))
+              (cons (cadr lst) (cdr rest))))))
+(define (mergesort lst)
+  (if (or (null? lst) (null? (cdr lst)))
+      lst
+      (let ((halves (split lst)))
+        (merge (mergesort (car halves)) (mergesort (cdr halves))))))
+(define (sum lst) (fold-left + 0 lst))
+(lambda (n)
+  (let ((l (make-list n 7)))
+    (- (sum (mergesort l)) (sum l))))
+|}
+      [ (0, "0"); (25, "0") ];
+    entry "nqueens" "number of solutions to the n-queens problem" ~slow:true
+      {|
+(define (queens board-size)
+  (define (attacks? qi qj newi newj)
+    (or (= qi newi)
+        (= qj newj)
+        (= (abs (- qi newi)) (abs (- qj newj)))))
+  (define (ok? row-of-queens col)
+    (define (loop rest delta)
+      (cond ((null? rest) #t)
+            ((attacks? (car rest) delta col 0) #f)
+            (else (loop (cdr rest) (+ delta 1)))))
+    (loop row-of-queens 1))
+  (define (solve col)
+    (if (zero? col)
+        (list '())
+        (let ((rest (solve (- col 1))))
+          (define (tryrow row acc)
+            (if (> row board-size)
+                acc
+                (tryrow (+ row 1)
+                        (fold-left
+                         (lambda (a sol)
+                           (if (ok? sol row) (cons (cons row sol) a) a))
+                         acc rest))))
+          (tryrow 1 '()))))
+  (length (solve board-size)))
+queens
+|}
+      [ (4, "2"); (6, "4") ];
+    entry "hanoi" "towers of Hanoi move count via explicit recursion"
+      {|
+(define (hanoi n from to via)
+  (if (zero? n)
+      0
+      (+ (hanoi (- n 1) from via to)
+         1
+         (hanoi (- n 1) via to from))))
+(lambda (n) (hanoi n 'a 'b 'c))
+|}
+      [ (3, "7"); (10, "1023") ];
+    entry "deriv" "symbolic differentiation over s-expressions"
+      {|
+(define (deriv exp var)
+  (cond ((number? exp) 0)
+        ((symbol? exp) (if (eq? exp var) 1 0))
+        ((eq? (car exp) '+)
+         (list '+ (deriv (cadr exp) var) (deriv (caddr exp) var)))
+        ((eq? (car exp) '*)
+         (list '+
+               (list '* (cadr exp) (deriv (caddr exp) var))
+               (list '* (deriv (cadr exp) var) (caddr exp))))
+        (else (error "deriv: unknown operator"))))
+(define (nest n)
+  (if (zero? n) 'x (list '* 'x (nest (- n 1)))))
+(define (size e)
+  (if (pair? e) (+ (size (car e)) (size (cdr e))) 1))
+(lambda (n) (size (deriv (nest n) 'x)))
+|}
+      [ (1, "10"); (4, "55") ];
+    entry "cps-fib" "Fibonacci in full continuation-passing style"
+      {|
+(define (fib-cps n k)
+  (if (< n 2)
+      (k n)
+      (fib-cps (- n 1)
+               (lambda (a)
+                 (fib-cps (- n 2)
+                          (lambda (b) (k (+ a b))))))))
+(lambda (n) (fib-cps n (lambda (x) x)))
+|}
+      [ (10, "55"); (15, "610") ];
+    entry "cps-loop" "pure CPS iteration: no procedure ever returns"
+      {|
+(define (loop-cps i acc k)
+  (if (zero? i)
+      (k acc)
+      (loop-cps (- i 1) (+ acc i) k)))
+(lambda (n) (loop-cps n 0 (lambda (x) x)))
+|}
+      [ (10, "55"); (100, "5050") ];
+    entry "find-leftmost" "the §4 example on a balanced tree; leaves are numbers"
+      {|
+(define (find-leftmost predicate? tree fail)
+  (if (leaf? tree)
+      (if (predicate? tree)
+          tree
+          (fail))
+      (let ((continuation
+             (lambda ()
+               (find-leftmost predicate? (right-child tree) fail))))
+        (find-leftmost predicate? (left-child tree) continuation))))
+(define (leaf? t) (not (pair? t)))
+(define (left-child t) (car t))
+(define (right-child t) (cdr t))
+(define (build depth label)
+  (if (zero? depth)
+      label
+      (cons (build (- depth 1) (* 2 label))
+            (build (- depth 1) (+ (* 2 label) 1)))))
+(lambda (n)
+  (find-leftmost
+   (lambda (leaf) (> leaf n))
+   (build 6 1)
+   (lambda () 'not-found)))
+|}
+      [ (0, "64"); (1000, "not-found") ];
+    entry "callcc-generator" "escape procedures via call/cc (product with early exit)"
+      {|
+(define (product lst)
+  (call/cc
+   (lambda (return)
+     (define (go lst acc)
+       (cond ((null? lst) acc)
+             ((zero? (car lst)) (return 0))
+             (else (go (cdr lst) (* acc (car lst))))))
+     (go lst 1))))
+(define (iota n) (if (zero? n) '() (cons n (iota (- n 1)))))
+(lambda (n) (+ (product (iota n)) (product (list 1 2 0 3))))
+|}
+      [ (4, "24"); (6, "720") ];
+    entry "state-machine" "dispatch table of mutually tail-calling states"
+      {|
+(define (run-fsm input)
+  (define (state-a rest count)
+    (cond ((null? rest) count)
+          ((eq? (car rest) 'x) (state-b (cdr rest) count))
+          (else (state-a (cdr rest) count))))
+  (define (state-b rest count)
+    (cond ((null? rest) count)
+          ((eq? (car rest) 'y) (state-a (cdr rest) (+ count 1)))
+          (else (state-b (cdr rest) count))))
+  (state-a input 0))
+(define (gen n)
+  (if (zero? n) '() (cons (if (even? n) 'x 'y) (gen (- n 1)))))
+(lambda (n) (run-fsm (gen n)))
+|}
+      [ (10, "5"); (101, "50") ];
+    entry "church" "Church numerals: arithmetic with closures only"
+      {|
+(define zero (lambda (f) (lambda (x) x)))
+(define (succ n) (lambda (f) (lambda (x) (f ((n f) x)))))
+(define (plus a b) (lambda (f) (lambda (x) ((a f) ((b f) x)))))
+(define (times a b) (lambda (f) (a (b f))))
+(define (church->int n) ((n (lambda (k) (+ k 1))) 0))
+(define (int->church k) (if (zero? k) zero (succ (int->church (- k 1)))))
+(lambda (n)
+  (church->int (plus (int->church n) (times (int->church n) (int->church 3)))))
+|}
+      [ (3, "12"); (7, "28") ];
+    entry "meta-eval" "metacircular evaluator for a lambda+arith subset"
+      {|
+(define (lookup x env)
+  (cond ((null? env) (error "unbound"))
+        ((eq? x (caar env)) (cdar env))
+        (else (lookup x (cdr env)))))
+(define (evl e env)
+  (cond ((number? e) e)
+        ((symbol? e) (lookup e env))
+        ((eq? (car e) 'lambda)
+         (list 'closure (cadr e) (caddr e) env))
+        ((eq? (car e) 'if)
+         (if (zero? (evl (cadr e) env))
+             (evl (cadddr e) env)
+             (evl (caddr e) env)))
+        ((eq? (car e) '+) (+ (evl (cadr e) env) (evl (caddr e) env)))
+        ((eq? (car e) '-) (- (evl (cadr e) env) (evl (caddr e) env)))
+        ((eq? (car e) '*) (* (evl (cadr e) env) (evl (caddr e) env)))
+        (else
+         (let ((f (evl (car e) env)) (a (evl (cadr e) env)))
+           (evl (caddr f) (cons (cons (car (cadr f)) a) (cadddr f)))))))
+(define (cadddr x) (car (cdddr x)))
+(lambda (n)
+  (evl (list (list 'lambda (list 'f)
+                   (list (list 'f 'f) n))
+             (list 'lambda (list 'self)
+                   (list 'lambda (list 'k)
+                         (list 'if 'k
+                               (list '* 'k (list (list 'self 'self) (list '- 'k 1)))
+                               1))))
+       '()))
+|}
+      [ (5, "120"); (8, "40320") ];
+    entry "vector-reverse" "in-place vector reversal with do loops"
+      {|
+(define (reverse! v)
+  (do ((i 0 (+ i 1))
+       (j (- (vector-length v) 1) (- j 1)))
+      ((>= i j) v)
+    (let ((tmp (vector-ref v i)))
+      (vector-set! v i (vector-ref v j))
+      (vector-set! v j tmp))))
+(define (fill n)
+  (let ((v (make-vector n 0)))
+    (do ((i 0 (+ i 1))) ((= i n) v) (vector-set! v i i))))
+(define (checksum v)
+  (do ((i 0 (+ i 1)) (acc 0 (+ (* 10 acc) (vector-ref v i))))
+      ((= i (vector-length v)) acc)))
+(lambda (n) (checksum (reverse! (fill n))))
+|}
+      [ (4, "3210"); (6, "543210") ];
+    entry "string-words" "string scanning and symbol interning"
+      {|
+(define (count-spaces s)
+  (define len (string-length s))
+  (define (go i acc)
+    (if (= i len)
+        acc
+        (go (+ i 1) (if (char=? (string-ref s i) #\space) (+ acc 1) acc))))
+  (go 0 0))
+(define (repeat s n) (if (zero? n) "" (string-append s (repeat s (- n 1)))))
+(lambda (n) (count-spaces (repeat "ab cd " n)))
+|}
+      [ (1, "2"); (5, "10") ];
+    entry "assoc-db" "association-list database with updates"
+      {|
+(define (insert db k v) (cons (cons k v) db))
+(define (bump db k)
+  (let ((hit (assv k db)))
+    (if hit
+        (insert db k (+ 1 (cdr hit)))
+        (insert db k 1))))
+(define (build n db)
+  (if (zero? n) db (build (- n 1) (bump db (modulo n 7)))))
+(lambda (n)
+  (let ((db (build n '())))
+    (fold-left + 0 (map cdr (map (lambda (k) (or (assv k db) (cons k 0)))
+                                 '(0 1 2 3 4 5 6))))))
+|}
+      [ (0, "0"); (21, "21") ];
+    entry "streams" "lazy streams via delay/force: n-th prime by trial division"
+      {|
+(define (stream-cons-hd hd tl-promise) (cons hd tl-promise))
+(define (stream-hd s) (car s))
+(define (stream-tl s) (force (cdr s)))
+(define (integers-from k)
+  (stream-cons-hd k (delay (integers-from (+ k 1)))))
+(define (stream-filter keep? s)
+  (if (keep? (stream-hd s))
+      (stream-cons-hd (stream-hd s) (delay (stream-filter keep? (stream-tl s))))
+      (stream-filter keep? (stream-tl s))))
+(define (divides? a b) (zero? (modulo b a)))
+(define (prime? k)
+  (define (try d)
+    (cond ((> (* d d) k) #t)
+          ((divides? d k) #f)
+          (else (try (+ d 1)))))
+  (and (> k 1) (try 2)))
+(define (stream-ref s k)
+  (if (zero? k) (stream-hd s) (stream-ref (stream-tl s) (- k 1))))
+(lambda (n) (stream-ref (stream-filter prime? (integers-from 2)) n))
+|}
+      [ (0, "2"); (10, "31") ];
+    entry "y-combinator" "anonymous recursion through the applicative-order Y"
+      {|
+(define (Y f)
+  ((lambda (x) (f (lambda (v) ((x x) v))))
+   (lambda (x) (f (lambda (v) ((x x) v))))))
+(define fact
+  (Y (lambda (self)
+       (lambda (n) (if (zero? n) 1 (* n (self (- n 1))))))))
+fact
+|}
+      [ (5, "120"); (10, "3628800") ];
+    entry "bst" "binary search tree: insert then in-order fold"
+      {|
+(define (node k l r) (vector k l r))
+(define (key t) (vector-ref t 0))
+(define (lhs t) (vector-ref t 1))
+(define (rhs t) (vector-ref t 2))
+(define (insert t k)
+  (cond ((null? t) (node k '() '()))
+        ((< k (key t)) (node (key t) (insert (lhs t) k) (rhs t)))
+        ((> k (key t)) (node (key t) (lhs t) (insert (rhs t) k)))
+        (else t)))
+(define (in-order t acc)
+  (if (null? t)
+      acc
+      (in-order (lhs t) (cons (key t) (in-order (rhs t) acc)))))
+(define (build i t)
+  (if (zero? i) t (build (- i 1) (insert t (modulo (* i 17) 101)))))
+(lambda (n)
+  (let ((keys (in-order (build n '()) '())))
+    (if (null? keys) 0 (+ (* 1000 (length keys)) (car keys)))))
+|}
+      [ (0, "0"); (12, "12001") ];
+    entry "queue" "amortized functional queue (two-list representation)"
+      {|
+(define (queue-empty) (cons '() '()))
+(define (queue-push q x) (cons (car q) (cons x (cdr q))))
+(define (queue-pop q)
+  (if (null? (car q))
+      (let ((front (reverse (cdr q))))
+        (cons (car front) (cons (cdr front) '())))
+      (cons (car (car q)) (cons (cdr (car q)) (cdr q)))))
+(define (drain q acc)
+  (if (and (null? (car q)) (null? (cdr q)))
+      acc
+      (let ((popped (queue-pop q)))
+        (drain (cdr popped) (+ (* 10 acc) (car popped))))))
+(lambda (n)
+  (define (fill q i) (if (> i n) q (fill (queue-push q i) (+ i 1))))
+  (drain (fill (queue-empty) 1) 0))
+|}
+      [ (3, "123"); (5, "12345") ];
+    entry "matrix" "vector-of-vector matrix product checksum"
+      {|
+(define (make-matrix n f)
+  (define (fill-row i)
+    (let ((row (make-vector n 0)))
+      (define (go j)
+        (if (= j n) row (begin (vector-set! row j (f i j)) (go (+ j 1)))))
+      (go 0)))
+  (let ((m (make-vector n 0)))
+    (define (go i)
+      (if (= i n) m (begin (vector-set! m i (fill-row i)) (go (+ i 1)))))
+    (go 0)))
+(define (mat-ref m i j) (vector-ref (vector-ref m i) j))
+(define (product n a b)
+  (make-matrix n
+    (lambda (i j)
+      (define (dot k acc)
+        (if (= k n) acc (dot (+ k 1) (+ acc (* (mat-ref a i k) (mat-ref b k j))))))
+      (dot 0 0))))
+(define (checksum n m)
+  (define (go i j acc)
+    (cond ((= i n) acc)
+          ((= j n) (go (+ i 1) 0 acc))
+          (else (go i (+ j 1) (+ acc (mat-ref m i j))))))
+  (go 0 0 0))
+(lambda (n)
+  (let ((a (make-matrix n (lambda (i j) (+ i j))))
+        (b (make-matrix n (lambda (i j) (if (= i j) 1 0)))))
+    (checksum n (product n a b))))
+|}
+      [ (2, "4"); (4, "48") ];
+    entry "tokenizer" "character-level tokenizer and expression evaluator"
+      {|
+(define (digit? c) (and (char<? #\0 c) (char<? c #\:)))
+(define (digit-val c) (- (char->integer c) (char->integer #\0)))
+(define (tokenize s)
+  (define len (string-length s))
+  (define (go i num in-num acc)
+    (if (= i len)
+        (reverse (if in-num (cons num acc) acc))
+        (let ((c (string-ref s i)))
+          (cond ((or (digit? c) (char=? c #\0))
+                 (go (+ i 1) (+ (* 10 num) (digit-val c)) #t acc))
+                ((char=? c #\space)
+                 (go (+ i 1) 0 #f (if in-num (cons num acc) acc)))
+                (else
+                 (go (+ i 1) 0 #f
+                     (cons c (if in-num (cons num acc) acc))))))))
+  (go 0 0 #f '()))
+(define (eval-tokens tokens)
+  (define (go tokens acc op)
+    (cond ((null? tokens) acc)
+          ((number? (car tokens))
+           (go (cdr tokens)
+               (if (char=? op #\+) (+ acc (car tokens)) (- acc (car tokens)))
+               op))
+          (else (go (cdr tokens) acc (car tokens)))))
+  (go tokens 0 #\+))
+(define (repeat s n) (if (zero? n) "" (string-append s (repeat s (- n 1)))))
+(lambda (n) (eval-tokens (tokenize (repeat "12 + 3 - 4 " n))))
+|}
+      [ (1, "11"); (5, "-41") ];
+    entry "church-pairs" "data structures from closures alone"
+      {|
+(define (kons a b) (lambda (sel) (sel a b)))
+(define (kar p) (p (lambda (a b) a)))
+(define (kdr p) (p (lambda (a b) b)))
+(define (klist n) (if (zero? n) #f (kons n (klist (- n 1)))))
+(define (ksum l acc) (if l (ksum (kdr l) (+ acc (kar l))) acc))
+(lambda (n) (ksum (klist n) 0))
+|}
+      [ (4, "10"); (100, "5050") ];
+    entry "mutual-ack" "deep mutual recursion with accumulators"
+      {|
+(define (up n acc) (if (zero? n) acc (down (- n 1) (+ acc 2))))
+(define (down n acc) (if (zero? n) acc (up (- n 1) (- acc 1))))
+(lambda (n) (up n 0))
+|}
+      [ (10, "5"); (101, "52") ];
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+let names () = List.map (fun e -> e.name) all
+
+let cache : (string, Tailspace_ast.Ast.expr) Hashtbl.t = Hashtbl.create 31
+
+let program e =
+  match Hashtbl.find_opt cache e.name with
+  | Some p -> p
+  | None ->
+      let p = Tailspace_expander.Expand.program_of_string e.source in
+      Hashtbl.add cache e.name p;
+      p

@@ -1,0 +1,27 @@
+(** The Scheme program corpus.
+
+    Every entry follows §12's convention: the program text evaluates to a
+    procedure of one argument, which the harness applies to [(quote N)].
+    [checks] are (input, expected answer) pairs used by the test suite;
+    answers are in {!Tailspace_core.Answer.to_string} syntax.
+
+    The corpus plays the role of the benchmark suites that Figure 2's
+    compilers were instrumented with (we do not have lcc's or Twobit's
+    inputs — documented substitution), and provides the workloads for the
+    Theorem 24 pointwise-inequality experiment and the Corollary 20
+    answer-agreement experiment. *)
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+  checks : (int * string) list;
+  slow : bool;  (** exclude from exhaustive all-variant sweeps *)
+}
+
+val all : entry list
+val find : string -> entry option
+val names : unit -> string list
+
+val program : entry -> Tailspace_ast.Ast.expr
+(** Expanded Core Scheme program (cached). *)

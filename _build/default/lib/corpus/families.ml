@@ -1,0 +1,139 @@
+(* The proof-of-Theorem-25 programs, verbatim from the paper (§12's
+   program convention: each evaluates to a procedure of one argument). *)
+
+let separator_stack_gc =
+  {|
+(define (f n)
+  (let ((v (make-vector n)))
+    (if (zero? n)
+        0
+        (f (- n 1)))))
+f
+|}
+
+let separator_gc_tail =
+  {|
+(define (f n) (if (zero? n) 0 (f (- n 1))))
+f
+|}
+
+let separator_tail_evlis =
+  {|
+(define (f n)
+  (define (g)
+    (begin (f (- n 1))
+           (lambda () n)))
+  (let ((v (make-vector n)))
+    (if (zero? n)
+        0
+        ((g)))))
+f
+|}
+
+let separator_evlis_sfs =
+  {|
+(define (f n)
+  (let ((v (make-vector n)))
+    (if (zero? n)
+        0
+        ((lambda ()
+           (begin (f (- n 1)) n))))))
+f
+|}
+
+let separators =
+  [
+    ("stack/gc", separator_stack_gc);
+    ("gc/tail", separator_gc_tail);
+    ("tail/evlis", separator_tail_evlis);
+    ("evlis/sfs", separator_evlis_sfs);
+  ]
+
+(* Theorem 26's P_k: E_{0,k} is the thunk-building loop, and each
+   E_{j,k} wraps E_{j-1,k} in (let ((xj (- n j))) ...). *)
+let pk_program k =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "(define (f n)\n";
+  for j = k downto 1 do
+    Buffer.add_string buf (Printf.sprintf "(let ((x%d (- n %d)))\n" j j)
+  done;
+  Buffer.add_string buf "(let ((x0 n))\n";
+  Buffer.add_string buf
+    {|(define (loop i thunks)
+  (if (zero? i)
+      ((list-ref thunks (random (length thunks))))
+      (loop (- i 1)
+            (cons (lambda () (list i|};
+  for j = 0 to k do
+    Buffer.add_string buf (Printf.sprintf " x%d" j)
+  done;
+  Buffer.add_string buf {|))
+                  thunks))))
+(loop n '())|};
+  for _ = 0 to k do
+    Buffer.add_char buf ')'
+  done;
+  Buffer.add_string buf ")\nf\n";
+  Buffer.contents buf
+
+(* §4: find-leftmost over explicit spines. The tree is data, so its O(N)
+   store cost appears under every variant; the *_build programs isolate
+   it so the harness can report the traversal overhead alone. *)
+
+let find_leftmost_header =
+  {|
+(define (find-leftmost predicate? tree fail)
+  (if (leaf? tree)
+      (if (predicate? tree)
+          tree
+          (fail))
+      (let ((continuation
+             (lambda ()
+               (find-leftmost predicate? (right-child tree) fail))))
+        (find-leftmost predicate? (left-child tree) continuation))))
+(define (leaf? t) (not (pair? t)))
+(define (left-child t) (car t))
+(define (right-child t) (cdr t))
+(define (right-spine n)
+  (if (zero? n) 0 (cons 0 (right-spine (- n 1)))))
+(define (left-spine n)
+  (if (zero? n) 0 (cons (left-spine (- n 1)) 0)))
+(define (never? leaf) #f)
+|}
+
+let find_leftmost_right_traverse =
+  find_leftmost_header
+  ^ {|
+(lambda (n)
+  (find-leftmost never? (right-spine n) (lambda () 'not-found)))
+|}
+
+let find_leftmost_right_build =
+  find_leftmost_header
+  ^ {|
+(lambda (n)
+  (if (pair? (right-spine n)) 'built 'empty))
+|}
+
+let find_leftmost_left_traverse =
+  find_leftmost_header
+  ^ {|
+(lambda (n)
+  (find-leftmost never? (left-spine n) (lambda () 'not-found)))
+|}
+
+let find_leftmost_left_build =
+  find_leftmost_header
+  ^ {|
+(lambda (n)
+  (if (pair? (left-spine n)) 'built 'empty))
+|}
+
+let cps_loop =
+  {|
+(define (loop-cps i acc k)
+  (if (zero? i)
+      (k acc)
+      (loop-cps (- i 1) (+ acc i) k)))
+(lambda (n) (loop-cps n 0 (lambda (x) x)))
+|}

@@ -1,0 +1,72 @@
+(** Parameterized program families from the paper's proofs.
+
+    Each value is (or generates) full-Scheme source following §12's
+    program convention; the harness applies the resulting procedure to
+    [(quote N)] and measures space as a function of N. *)
+
+(** {1 Theorem 25: the four separating programs} *)
+
+val separator_stack_gc : string
+(** [(define (f n) (let ((v (make-vector n))) (if (zero? n) 0 (f (- n 1)))))]
+    — quadratic under [I_stack] (each frame pins its vector until
+    return), linear under [I_gc] (O(N log N) with bignums). Shows
+    [O(S_stack) ⊅ O(S_gc)]. *)
+
+val separator_gc_tail : string
+(** [(define (f n) (if (zero? n) 0 (f (- n 1))))] — linear under [I_gc]
+    (a frame per call), O(log N) under [I_tail]. Shows
+    [O(S_gc) ⊅ O(S_tail)]. *)
+
+val separator_tail_evlis : string
+(** The [(define (g) (begin (f (- n 1)) (lambda () n)))] program —
+    quadratic under [I_tail] and [I_free] (the argument-evaluation
+    continuation retains the environment binding the vector), linear
+    under [I_evlis]/[I_sfs]. Shows [O(S_tail) ⊅ O(S_evlis)],
+    [O(S_free) ⊅ O(S_evlis)], [O(S_free) ⊅ O(S_sfs)]. *)
+
+val separator_evlis_sfs : string
+(** The [((lambda () (begin (f (- n 1)) n)))] program — quadratic under
+    [I_evlis] and [I_tail] (the closure captures the whole environment,
+    pinning the vector), linear under [I_free]/[I_sfs]. Shows
+    [O(S_tail) ⊅ O(S_free)], [O(S_evlis) ⊅ O(S_free)],
+    [O(S_evlis) ⊅ O(S_sfs)]. *)
+
+val separators : (string * string) list
+(** All four, with short names. *)
+
+(** {1 Theorem 26: flat versus linked environments} *)
+
+val pk_program : int -> string
+(** [pk_program k] is the paper's [P_k]: [k+1] nested [let]s binding
+    [x0..xk], and a loop building [n] thunks each closing over all of
+    them. With [k = N], [U_tail(P_N, N)] is O(N log N) — the thunks
+    share one linked environment — while [S_sfs(P_N, N)] is O(N²): flat
+    closures copy [k+2] bindings each. *)
+
+(** {1 §4: find-leftmost} *)
+
+val find_leftmost_right_traverse : string
+(** Input N builds a right-leaning spine of depth N (every left child a
+    leaf, none satisfying) and traverses it. §4: the traversal's space is
+    independent of the number of right edges under [I_tail] — each
+    failure continuation dies as the next is born — but grows linearly
+    under [I_gc]/[I_stack]. *)
+
+val find_leftmost_right_build : string
+(** Builds the same spine and returns without traversing; subtracting its
+    peak isolates the traversal overhead (the tree itself is O(N) data in
+    every variant). *)
+
+val find_leftmost_left_traverse : string
+(** Input N builds a left-leaning spine of depth N: the pending failure
+    continuations chain, so even [I_tail] needs space proportional to
+    the left depth. *)
+
+val find_leftmost_left_build : string
+(** Build-only control for the left spine. *)
+
+(** {1 §1/§4: continuation-passing style} *)
+
+val cps_loop : string
+(** Pure CPS iteration; bounded space under [I_tail], linear under
+    [I_gc]. *)

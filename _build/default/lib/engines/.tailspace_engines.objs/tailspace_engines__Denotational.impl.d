@@ -1,0 +1,1 @@
+lib/engines/denotational.ml: Format Hashtbl List Tailspace_ast Tailspace_core

@@ -1,0 +1,1 @@
+lib/engines/denotational.mli: Tailspace_ast Tailspace_core

@@ -1,0 +1,1 @@
+lib/engines/secd.ml: Array Buffer Format Hashtbl List Obj Option Stdlib String Tailspace_ast Tailspace_bignum Tailspace_sexp

@@ -1,0 +1,1 @@
+lib/engines/secd.mli: Tailspace_ast

@@ -1,0 +1,1 @@
+lib/expander/expand.ml: Array Format List Option Printf Tailspace_ast Tailspace_sexp

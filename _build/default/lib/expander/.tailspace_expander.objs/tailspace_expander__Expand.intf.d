@@ -1,0 +1,1 @@
+lib/expander/expand.mli: Format Tailspace_ast Tailspace_sexp

@@ -1,0 +1,378 @@
+module Datum = Tailspace_sexp.Datum
+module Ast = Tailspace_ast.Ast
+open Ast
+
+type error = { message : string; form : Datum.t option }
+
+let pp_error ppf e =
+  match e.form with
+  | None -> Format.fprintf ppf "expand error: %s" e.message
+  | Some d -> Format.fprintf ppf "expand error: %s in %a" e.message Datum.pp d
+
+exception Expand_error of error
+
+let err ?form message = raise (Expand_error { message; form })
+
+let gensym_counter = ref 0
+let reset_gensym () = gensym_counter := 0
+
+let gensym prefix =
+  let n = !gensym_counter in
+  incr gensym_counter;
+  Printf.sprintf "%%%s%d" prefix n
+
+let unspecified = Quote C_unspecified
+
+(* (begin e1 e2 ...) as the let-style encoding ((lambda (t) rest) e1).
+   The paper's core syntax has no sequencing form; this encoding is the
+   one under which the Theorem 25 separators behave as the paper says:
+   the value of [e1] is passed through an argument-evaluation
+   continuation, which is what retains (I_tail) or drops (I_evlis) the
+   environment. *)
+let rec seq exprs =
+  match exprs with
+  | [] -> unspecified
+  | [ e ] -> e
+  | e :: rest -> Call (lambda [ gensym "seq" ] (seq rest), [ e ])
+
+let quote_const_of_atom d =
+  match d with
+  | Datum.Bool b -> Some (C_bool b)
+  | Datum.Int z -> Some (C_int z)
+  | Datum.Str s -> Some (C_str s)
+  | Datum.Char c -> Some (C_char c)
+  | Datum.Sym "#!unspecified" -> Some C_unspecified
+  | Datum.Sym "#!undefined" -> Some C_undefined
+  | Datum.Sym s -> Some (C_sym s)
+  | Datum.Nil -> Some C_nil
+  | Datum.Pair _ | Datum.Vector _ -> None
+
+(* §12: compound constants are replaced by calls that allocate fresh
+   structure at run time. *)
+let rec expand_quote d =
+  match d with
+  | Datum.Pair (a, b) ->
+      Call (Var "cons", [ expand_quote a; expand_quote b ])
+  | Datum.Vector elts ->
+      Call (Var "vector", List.map expand_quote (Array.to_list elts))
+  | atom -> (
+      match quote_const_of_atom atom with
+      | Some c -> Quote c
+      | None -> assert false)
+
+let formals_of_datum d =
+  let rec go acc d =
+    match d with
+    | Datum.Nil -> (List.rev acc, None)
+    | Datum.Sym r -> (List.rev acc, Some r)
+    | Datum.Pair (Datum.Sym p, rest) -> go (p :: acc) rest
+    | _ -> err ~form:d "malformed formals"
+  in
+  go [] d
+
+let dlist d ~what =
+  match Datum.to_list d with
+  | Some l -> l
+  | None -> err ~form:d ("malformed " ^ what ^ ": expected a proper list")
+
+(* Parse a [define] form into (name, rhs-datum-as-expression-thunk).
+   Returns the name and a function producing the expanded right-hand
+   side, so recursion through [expand] stays in one place. *)
+let parse_define form rest =
+  match rest with
+  | [ Datum.Sym name ] -> (name, `Value (Datum.Sym "#!unspecified"))
+  | [ Datum.Sym name; rhs ] -> (name, `Value rhs)
+  | Datum.Pair (Datum.Sym name, formals) :: body when body <> [] ->
+      (name, `Procedure (formals, body))
+  | _ -> err ~form "malformed define"
+
+let rec expand d =
+  match d with
+  | Datum.Bool _ | Datum.Int _ | Datum.Str _ | Datum.Char _ ->
+      Quote (Option.get (quote_const_of_atom d))
+  | Datum.Sym ("#!unspecified" | "#!undefined") ->
+      (* self-evaluating: these denote values, not variables *)
+      Quote (Option.get (quote_const_of_atom d))
+  | Datum.Sym s -> Var s
+  | Datum.Nil -> err ~form:d "empty application ()"
+  | Datum.Vector _ -> err ~form:d "vector literals must be quoted"
+  | Datum.Pair (Datum.Sym kw, rest) when is_keyword kw ->
+      expand_keyword d kw rest
+  | Datum.Pair _ ->
+      let forms = dlist d ~what:"application" in
+      (match List.map expand forms with
+      | f :: args -> Call (f, args)
+      | [] -> assert false)
+
+and is_keyword = function
+  | "quote" | "quasiquote" | "unquote" | "unquote-splicing" | "lambda" | "if"
+  | "set!" | "begin" | "let" | "let*" | "letrec" | "letrec*" | "cond" | "case"
+  | "and" | "or" | "when" | "unless" | "do" | "define" | "delay" ->
+      true
+  | _ -> false
+
+and expand_keyword form kw rest_datum =
+  let rest = dlist rest_datum ~what:kw in
+  match (kw, rest) with
+  | "quote", [ d ] -> expand_quote d
+  | "quote", _ -> err ~form "quote takes exactly one datum"
+  | "quasiquote", [ d ] -> expand_quasiquote d 1
+  | "quasiquote", _ -> err ~form "quasiquote takes exactly one datum"
+  | ("unquote" | "unquote-splicing"), _ ->
+      err ~form "unquote outside quasiquote"
+  | "lambda", formals :: body when body <> [] ->
+      let params, rest_param = formals_of_datum formals in
+      Lambda { params; rest = rest_param; body = expand_body form body }
+  | "lambda", _ -> err ~form "malformed lambda"
+  | "if", [ c; t ] -> If (expand c, expand t, unspecified)
+  | "if", [ c; t; e ] -> If (expand c, expand t, expand e)
+  | "if", _ -> err ~form "malformed if"
+  | "set!", [ Datum.Sym x; e ] -> Set (x, expand e)
+  | "set!", _ -> err ~form "malformed set!"
+  | "begin", exprs -> seq (List.map expand exprs)
+  | "let", Datum.Sym loop_name :: bindings :: body when body <> [] ->
+      expand_named_let form loop_name bindings body
+  | "let", bindings :: body when body <> [] ->
+      let names, inits = expand_bindings form bindings in
+      Call (lambda names (expand_body form body), inits)
+  | "let", _ -> err ~form "malformed let"
+  | "let*", bindings :: body when body <> [] ->
+      let rec nest bs =
+        match bs with
+        | [] -> expand_body form body
+        | (name, init) :: more -> Call (lambda [ name ] (nest more), [ init ])
+      in
+      let names, inits = expand_bindings form bindings in
+      if names = [] then expand_body form body
+      else nest (List.combine names inits)
+  | "let*", _ -> err ~form "malformed let*"
+  | ("letrec" | "letrec*"), bindings :: body when body <> [] ->
+      let names, inits = expand_bindings form bindings in
+      expand_letrec names inits (expand_body form body)
+  | ("letrec" | "letrec*"), _ -> err ~form "malformed letrec"
+  | "cond", clauses -> expand_cond form clauses
+  | "case", key :: clauses -> expand_case form key clauses
+  | "case", [] -> err ~form "malformed case"
+  | "and", [] -> Quote (C_bool true)
+  | "and", [ e ] -> expand e
+  | "and", e :: more ->
+      If (expand e, expand_keyword form "and" (Datum.list more), Quote (C_bool false))
+  | "or", [] -> Quote (C_bool false)
+  | "or", [ e ] -> expand e
+  | "or", e :: more ->
+      let t = gensym "or" in
+      Call
+        ( lambda [ t ]
+            (If (Var t, Var t, expand_keyword form "or" (Datum.list more))),
+          [ expand e ] )
+  | "when", c :: body when body <> [] ->
+      If (expand c, seq (List.map expand body), unspecified)
+  | "when", _ -> err ~form "malformed when"
+  | "unless", c :: body when body <> [] ->
+      If (expand c, unspecified, seq (List.map expand body))
+  | "unless", _ -> err ~form "malformed unless"
+  | "do", spec :: test_clause :: commands -> expand_do form spec test_clause commands
+  | "do", _ -> err ~form "malformed do"
+  | "delay", [ e ] ->
+      (* R5RS promises: a memoizing thunk built by the prelude's
+         %make-promise; (force p) just invokes it *)
+      Call (Var "%make-promise", [ lambda [] (expand e) ])
+  | "delay", _ -> err ~form "delay takes exactly one expression"
+  | "define", _ -> err ~form "define is only allowed at top level or at the head of a body"
+  | _ -> err ~form ("malformed " ^ kw)
+
+and expand_bindings form bindings =
+  let bs = dlist bindings ~what:"bindings" in
+  let parse b =
+    match Datum.to_list b with
+    | Some [ Datum.Sym name; init ] -> (name, expand init)
+    | _ -> err ~form "malformed binding"
+  in
+  List.split (List.map parse bs)
+
+(* letrec as ((lambda (x1 ... xn) (set! x1 e1) ... body) #!undefined ...):
+   locations start out UNDEFINED, so a premature reference is stuck,
+   matching the machine's variable-reference side condition. *)
+and expand_letrec names inits body =
+  if names = [] then body
+  else
+    let sets = List.map2 (fun n i -> Set (n, i)) names inits in
+    Call
+      ( lambda names (seq (sets @ [ body ])),
+        List.map (fun _ -> Quote C_undefined) names )
+
+and expand_named_let form loop_name bindings body =
+  let names, inits = expand_bindings form bindings in
+  let proc = lambda names (expand_body form body) in
+  expand_letrec [ loop_name ] [ proc ] (Call (Var loop_name, inits))
+
+and expand_cond form clauses =
+  match clauses with
+  | [] -> unspecified
+  | clause :: more -> (
+      match dlist clause ~what:"cond clause" with
+      | [ Datum.Sym "else" ] -> err ~form "empty else clause"
+      | Datum.Sym "else" :: body ->
+          if more <> [] then err ~form "else must be the last cond clause";
+          seq (List.map expand body)
+      | [ test ] ->
+          let t = gensym "cond" in
+          Call
+            ( lambda [ t ] (If (Var t, Var t, expand_cond form more)),
+              [ expand test ] )
+      | [ test; Datum.Sym "=>"; receiver ] ->
+          let t = gensym "cond" in
+          Call
+            ( lambda [ t ]
+                (If
+                   ( Var t,
+                     Call (expand receiver, [ Var t ]),
+                     expand_cond form more )),
+              [ expand test ] )
+      | test :: body ->
+          If (expand test, seq (List.map expand body), expand_cond form more)
+      | [] -> err ~form "empty cond clause")
+
+and expand_case form key clauses =
+  let k = gensym "case" in
+  let rec arms clauses =
+    match clauses with
+    | [] -> unspecified
+    | clause :: more -> (
+        match dlist clause ~what:"case clause" with
+        | Datum.Sym "else" :: body when body <> [] ->
+            if more <> [] then err ~form "else must be the last case clause";
+            seq (List.map expand body)
+        | datums :: body when body <> [] ->
+            let ds = dlist datums ~what:"case datums" in
+            If
+              ( Call (Var "memv", [ Var k; expand_quote (Datum.list ds) ]),
+                seq (List.map expand body),
+                arms more )
+        | _ -> err ~form "malformed case clause")
+  in
+  Call (lambda [ k ] (arms clauses), [ expand key ])
+
+and expand_do form spec test_clause commands =
+  let specs = dlist spec ~what:"do bindings" in
+  let parse_spec s =
+    match Datum.to_list s with
+    | Some [ Datum.Sym v; init ] -> (v, expand init, Var v)
+    | Some [ Datum.Sym v; init; step ] -> (v, expand init, expand step)
+    | _ -> err ~form "malformed do binding"
+  in
+  let triples = List.map parse_spec specs in
+  let vars = List.map (fun (v, _, _) -> v) triples in
+  let inits = List.map (fun (_, i, _) -> i) triples in
+  let steps = List.map (fun (_, _, s) -> s) triples in
+  let test, result =
+    match dlist test_clause ~what:"do test" with
+    | test :: result -> (expand test, seq (List.map expand result))
+    | [] -> err ~form "malformed do test clause"
+  in
+  let loop = gensym "do" in
+  let body =
+    If
+      ( test,
+        result,
+        seq (List.map expand commands @ [ Call (Var loop, steps) ]) )
+  in
+  expand_letrec [ loop ] [ lambda vars body ] (Call (Var loop, inits))
+
+and expand_quasiquote d depth =
+  let qq d = expand_quasiquote d depth in
+  match d with
+  | Datum.Pair (Datum.Sym "unquote", Datum.Pair (e, Datum.Nil)) ->
+      if depth = 1 then expand e
+      else
+        Call
+          ( Var "list",
+            [ Quote (C_sym "unquote"); expand_quasiquote e (depth - 1) ] )
+  | Datum.Pair (Datum.Sym "quasiquote", Datum.Pair (e, Datum.Nil)) ->
+      Call
+        ( Var "list",
+          [ Quote (C_sym "quasiquote"); expand_quasiquote e (depth + 1) ] )
+  | Datum.Pair
+      (Datum.Pair (Datum.Sym "unquote-splicing", Datum.Pair (e, Datum.Nil)), rest)
+    when depth = 1 ->
+      Call (Var "append", [ expand e; qq rest ])
+  | Datum.Pair (a, rest) -> Call (Var "cons", [ qq a; qq rest ])
+  | Datum.Vector elts ->
+      Call (Var "vector", List.map qq (Array.to_list elts))
+  | atom -> (
+      match quote_const_of_atom atom with
+      | Some c -> Quote c
+      | None -> assert false)
+
+(* A body is zero or more leading internal defines followed by at least
+   one expression; the defines become a letrec* (R5RS §5.2.2). *)
+and expand_body form body =
+  let rec split defines forms =
+    match forms with
+    | Datum.Pair (Datum.Sym "define", rest) :: more ->
+        let d = List.hd forms in
+        let name, rhs = parse_define d (dlist rest ~what:"define") in
+        split ((name, rhs) :: defines) more
+    | _ -> (List.rev defines, forms)
+  in
+  let defines, exprs = split [] body in
+  if exprs = [] then err ~form "body has no expression after its definitions";
+  let expand_rhs = function
+    | `Value d -> expand d
+    | `Procedure (formals, pbody) ->
+        let params, rest_param = formals_of_datum formals in
+        Lambda { params; rest = rest_param; body = expand_body form pbody }
+  in
+  let names = List.map fst defines in
+  let inits = List.map (fun (_, rhs) -> expand_rhs rhs) defines in
+  expand_letrec names inits (seq (List.map expand exprs))
+
+let expression = expand
+
+let top_level_define d =
+  match d with
+  | Datum.Pair (Datum.Sym "define", rest) ->
+      let name, rhs = parse_define d (dlist rest ~what:"define") in
+      let expr =
+        match rhs with
+        | `Value v -> expand v
+        | `Procedure (formals, pbody) ->
+            let params, rest_param = formals_of_datum formals in
+            Lambda { params; rest = rest_param; body = expand_body d pbody }
+      in
+      Some (name, expr)
+  | _ -> None
+
+let program forms =
+  if forms = [] then err "empty program";
+  let define_names =
+    List.filter_map
+      (function
+        | Datum.Pair (Datum.Sym "define", Datum.Pair (Datum.Sym n, _)) -> Some n
+        | Datum.Pair
+            (Datum.Sym "define", Datum.Pair (Datum.Pair (Datum.Sym n, _), _)) ->
+            Some n
+        | _ -> None)
+      forms
+  in
+  let body_forms =
+    List.filter
+      (function Datum.Pair (Datum.Sym "define", _) -> false | _ -> true)
+      forms
+  in
+  let body =
+    if body_forms <> [] then body_forms
+    else
+      match List.rev define_names with
+      | last :: _ -> [ Datum.Sym last ]
+      | [] -> err "program has no expression and no definitions"
+  in
+  let define_forms =
+    List.filter
+      (function Datum.Pair (Datum.Sym "define", _) -> true | _ -> false)
+      forms
+  in
+  expand_body (Datum.list forms) (define_forms @ body)
+
+let program_of_string s = program (Tailspace_sexp.Reader.parse_all_exn s)
+let expression_of_string s = expand (Tailspace_sexp.Reader.parse_one_exn s)

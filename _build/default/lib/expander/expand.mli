@@ -1,0 +1,55 @@
+(** Macro expansion: full Scheme external syntax -> Core Scheme.
+
+    Implements the lowering the paper assumes ("The external syntax of
+    full Scheme can be converted into this internal syntax by expanding
+    macros and by replacing vector, string, and list constants ...", §2
+    and §12):
+
+    - derived forms: [begin], [let], [let*], [letrec]/[letrec*], named
+      [let], [cond] (incl. [=>]), [case], [and], [or], [when], [unless],
+      [do], [quasiquote], [delay] (memoizing promises; [force] lives in
+      the prelude);
+    - [define] (variable and procedure form) at top level and as internal
+      definitions, lowered to [letrec*];
+    - compound [quote] constants are rewritten into [cons]/[list]/[vector]
+      calls, exactly as §12 prescribes for space-measured programs;
+    - [begin] becomes [((lambda (t) rest) first)] — the [let]-style
+      encoding; this matters for the evlis-tail-recursion experiments
+      because it is the argument-evaluation continuation that retains the
+      environment.
+
+    Hygiene caveat (documented limitation): keywords are recognized by
+    name, so rebinding [if], [let], ... as variables is not supported;
+    generated temporaries use the [%] namespace, which source programs
+    should avoid. *)
+
+type error = { message : string; form : Tailspace_sexp.Datum.t option }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Expand_error of error
+
+val expression : Tailspace_sexp.Datum.t -> Tailspace_ast.Ast.expr
+(** Expand one expression. @raise Expand_error on malformed input. *)
+
+val program : Tailspace_sexp.Datum.t list -> Tailspace_ast.Ast.expr
+(** Expand a whole program: top-level [define]s become a [letrec*] whose
+    body is the remaining top-level expressions in order (or a reference
+    to the last defined name when there is no trailing expression). This
+    matches §12's convention that a program is a single expression.
+    @raise Expand_error on malformed input. *)
+
+val program_of_string : string -> Tailspace_ast.Ast.expr
+(** Read with {!Tailspace_sexp.Reader} and expand.
+    @raise Expand_error and @raise Tailspace_sexp.Reader.Parse_error. *)
+
+val expression_of_string : string -> Tailspace_ast.Ast.expr
+
+val top_level_define : Tailspace_sexp.Datum.t -> (string * Tailspace_ast.Ast.expr) option
+(** [Some (name, rhs)] when the form is a top-level [define] (variable or
+    procedure form), with the right-hand side expanded; [None] for any
+    other form. Used by the machine to install the Scheme-level prelude
+    as global bindings. *)
+
+val reset_gensym : unit -> unit
+(** Reset the temporary-name counter (test determinism). *)

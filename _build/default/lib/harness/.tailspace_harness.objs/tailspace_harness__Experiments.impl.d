@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Buffer Growth List Option Printf Runner String Table Tailspace_analysis Tailspace_core Tailspace_corpus Tailspace_engines Tailspace_expander

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Growth Tailspace_analysis Tailspace_core

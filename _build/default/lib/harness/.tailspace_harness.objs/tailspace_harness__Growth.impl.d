@@ -1,0 +1,1 @@
+lib/harness/growth.ml: List Stdlib

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: List Option Tailspace_ast Tailspace_bignum Tailspace_core

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Tailspace_ast Tailspace_core

@@ -1,0 +1,181 @@
+(** The paper's evaluation, experiment by experiment.
+
+    Each experiment exposes a [run] returning structured data — the test
+    suite asserts the paper's claims on it — and a [render] producing the
+    table that [bench/main.exe] prints. The experiment ids match
+    DESIGN.md's per-experiment index. *)
+
+module Machine = Tailspace_core.Machine
+module Tail_calls = Tailspace_analysis.Tail_calls
+
+(** {1 E1 — Figure 2: static frequency of tail calls} *)
+module Fig2 : sig
+  type row = { name : string; counts : Tail_calls.counts }
+
+  val run : unit -> row list
+  (** Statistics over the whole corpus, plus a total row computed by the
+      caller via {!total}. *)
+
+  val total : row list -> Tail_calls.counts
+  val render : row list -> string
+end
+
+(** {1 E2 — Theorem 25 / Figure 6: the proper-inclusion separations} *)
+module Thm25 : sig
+  type cell = {
+    variant : Machine.variant;
+    spaces : (int * int) list;  (** (N, S) for successful runs *)
+    fit : Growth.fit option;  (** [None] when runs got stuck or starved *)
+  }
+
+  type sweep = { separator : string; ns : int list; cells : cell list }
+
+  val run : ?ns:int list -> unit -> sweep list
+  (** One sweep per separating program, all six variants each. *)
+
+  val order_of : sweep -> Machine.variant -> Growth.order option
+
+  val claims : sweep list -> (string * bool) list
+  (** The paper's growth claims ("stack/gc: quadratic under stack",
+      ...), each evaluated against the fits. *)
+
+  val render : sweep list -> string
+end
+
+(** {1 E3 — Theorem 24: pointwise inequalities} *)
+module Thm24 : sig
+  type row = {
+    name : string;
+    n : int;
+    s : (Machine.variant * int) list;  (** S_X per variant *)
+    chain_ok : bool;
+        (** S_tail <= S_gc <= S_stack, S_sfs <= S_evlis <= S_tail,
+            S_sfs <= S_free <= S_tail *)
+  }
+
+  val run : ?include_slow:bool -> unit -> row list
+  val render : row list -> string
+end
+
+(** {1 E4 — Theorem 26 / §13: flat versus linked environments} *)
+module Thm26 : sig
+  type row = {
+    n : int;
+    u_tail : int;  (** U_tail(P_N, N): linked model on I_tail *)
+    s_tail : int;  (** S_tail(P_N, N): flat model on I_tail *)
+    s_sfs : int;  (** S_sfs(P_N, N) *)
+  }
+
+  type result = {
+    rows : row list;
+    u_tail_fit : Growth.fit;
+    s_sfs_fit : Growth.fit;
+  }
+
+  val run : ?ns:int list -> unit -> result
+  val render : result -> string
+end
+
+(** {1 E5 — §4: find-leftmost} *)
+module Sec4 : sig
+  type row = {
+    spine : string;  (** "right" or "left" *)
+    variant : Machine.variant;
+    deltas : (int * int) list;
+        (** (N, S_traverse - S_build): traversal overhead net of the
+            tree data *)
+    fit : Growth.fit option;
+  }
+
+  val run : ?ns:int list -> unit -> row list
+  val render : row list -> string
+end
+
+(** {1 E6 — Corollary 20: all machines compute the same answers} *)
+module Cor20 : sig
+  type row = {
+    name : string;
+    n : int;
+    answers : (Machine.variant * string) list;  (** answer or stuck text *)
+    agree : bool;
+  }
+
+  val run : ?include_slow:bool -> unit -> row list
+  val render : row list -> string
+end
+
+(** {1 E7 — §1/§4: continuation-passing style runs in bounded space} *)
+module Cps : sig
+  type result = {
+    ns : int list;
+    tail : (int * int) list;
+    gc : (int * int) list;
+    tail_fit : Growth.fit;
+    gc_fit : Growth.fit;
+  }
+
+  val run : ?ns:int list -> unit -> result
+  val render : result -> string
+end
+
+(** {1 E8 — ablations of the disambiguation choices (DESIGN.md)} *)
+module Ablation : sig
+  type sweep = {
+    label : string;
+    spaces : (int * int) list;  (** (N, S) *)
+  }
+
+  type result = {
+    ns : int list;
+    return_env_rows : sweep list;
+        (** separator 1 under I_gc/I_stack, faithful vs literal frames *)
+    evlis_rows : sweep list;
+        (** separator 3 under I_tail/I_evlis, with and without the
+            drop-at-creation rule *)
+    stack_gc_divergence_faithful : float;
+    stack_gc_divergence_literal : float;
+    tail_evlis_divergence_faithful : float;
+    tail_evlis_divergence_literal : float;
+  }
+
+  val run : ?ns:int list -> unit -> result
+  val render : result -> string
+end
+
+(** {1 E9 — §14 sanity check: classifying real implementations} *)
+module Sanity : sig
+  (** §14 observes that the formal definition should coincide with the
+      community's judgement of which implementations are properly tail
+      recursive. This experiment applies Definition 5 empirically to two
+      executable implementations that are {e not} reference machines —
+      the tail-recursive SECD machine and the classic SECD machine
+      (lib/engines) — plus the reference [I_gc] as a known-improper
+      control: an implementation passes iff its live space stays within
+      a constant factor of [S_tail] across a battery of programs. *)
+
+  type cell = {
+    program : string;
+    engine_order : Growth.order;
+        (** fitted growth of the implementation's live space *)
+    tail_order : Growth.order;  (** fitted growth of [S_tail] *)
+    ok : bool;
+        (** the implementation does not grow strictly faster than
+            [S_tail] on this program, up to a logarithmic slack for the
+            bignum loop counter *)
+  }
+
+  type row = {
+    engine : string;
+    cells : cell list;
+    properly_tail_recursive : bool;  (** all cells ok *)
+  }
+
+  type result = { ns : int list; rows : row list }
+
+  val run : ?ns:int list -> unit -> result
+  val render : result -> string
+end
+
+val render_all : unit -> string
+(** Every experiment's table, in order — the paper-reproduction report
+    that [bench/main.exe] prints. *)

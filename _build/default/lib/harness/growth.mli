@@ -1,0 +1,29 @@
+(** Asymptotic-growth fitting for space sweeps.
+
+    The paper's separations are claims about growth orders — "quadratic
+    space in one implementation but only linear in the other" (proof of
+    Theorem 25). Given measurements [(N, space)] this module picks the
+    best-fitting model among the orders the paper distinguishes, by
+    least-squares over [space = a*g(N) + b] with [a >= 0] and relative
+    residuals. *)
+
+type order = Constant | Logarithmic | Linear | Linearithmic | Quadratic
+
+val order_name : order -> string
+(** ["O(1)"], ["O(log N)"], ["O(N)"], ["O(N log N)"], ["O(N^2)"]. *)
+
+type fit = {
+  order : order;
+  coefficient : float;  (** [a] in [a*g(N) + b] *)
+  intercept : float;  (** [b] *)
+  relative_error : float;  (** RMS residual / mean value *)
+}
+
+val fit : (int * int) list -> fit
+(** Best model for the measurements. Requires at least 3 points.
+    @raise Invalid_argument otherwise. *)
+
+val classify : (int * int) list -> order
+
+val at_least : order -> order -> bool
+(** [at_least o1 o2]: [o1] grows at least as fast as [o2]. *)

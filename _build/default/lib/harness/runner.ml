@@ -1,0 +1,69 @@
+module Machine = Tailspace_core.Machine
+module Ast = Tailspace_ast.Ast
+module Bignum = Tailspace_bignum.Bignum
+
+type status = Answer of string | Stuck of string | Fuel
+
+type measurement = {
+  n : int;
+  space : int;
+  linked : int option;
+  steps : int;
+  status : status;
+}
+
+let input_expr n = Ast.Quote (Ast.C_int (Bignum.of_int n))
+
+let measure_with machine ?fuel ?measure_linked ?gc_policy ~program ~n () =
+  let r =
+    Machine.run_program ?fuel ?measure_linked ?gc_policy machine ~program
+      ~input:(input_expr n)
+  in
+  let status =
+    match r.Machine.outcome with
+    | Machine.Done { answer; _ } -> Answer answer
+    | Machine.Stuck m -> Stuck m
+    | Machine.Out_of_fuel -> Fuel
+  in
+  {
+    n;
+    space = Machine.space_consumption r;
+    linked =
+      Option.map (fun l -> l + r.Machine.program_size) r.Machine.peak_linked;
+    steps = r.Machine.steps;
+    status;
+  }
+
+let run_once ?fuel ?measure_linked ?gc_policy ?perm ?stack_policy ?return_env
+    ?evlis_drop_at_creation ~variant ~program ~n () =
+  let machine =
+    Machine.create ~variant ?perm ?stack_policy ?return_env
+      ?evlis_drop_at_creation ()
+  in
+  measure_with machine ?fuel ?measure_linked ?gc_policy ~program ~n ()
+
+let sweep ?fuel ?measure_linked ?gc_policy ?perm ?stack_policy ?return_env
+    ?evlis_drop_at_creation ~variant ~program ~ns () =
+  let machine =
+    Machine.create ~variant ?perm ?stack_policy ?return_env
+      ?evlis_drop_at_creation ()
+  in
+  List.map
+    (fun n -> measure_with machine ?fuel ?measure_linked ?gc_policy ~program ~n ())
+    ns
+
+let spaces ms =
+  List.filter_map
+    (fun m -> match m.status with Answer _ -> Some (m.n, m.space) | _ -> None)
+    ms
+
+let linked_spaces ms =
+  List.filter_map
+    (fun m ->
+      match (m.status, m.linked) with
+      | Answer _, Some l -> Some (m.n, l)
+      | _ -> None)
+    ms
+
+let all_answered ms =
+  List.for_all (fun m -> match m.status with Answer _ -> true | _ -> false) ms

@@ -1,0 +1,53 @@
+(** Measurement driver: run (program, input N, machine variant) and
+    collect Definition 23's space consumption. *)
+
+module Machine = Tailspace_core.Machine
+
+type status = Answer of string | Stuck of string | Fuel
+
+type measurement = {
+  n : int;
+  space : int;  (** [S_X(P, N)] = [|P|] + peak, flat model *)
+  linked : int option;  (** [U_X(P, N)] when requested *)
+  steps : int;
+  status : status;
+}
+
+val input_expr : int -> Tailspace_ast.Ast.expr
+(** [(quote N)]. *)
+
+val run_once :
+  ?fuel:int ->
+  ?measure_linked:bool ->
+  ?gc_policy:[ `Exact | `Approximate ] ->
+  ?perm:Machine.perm_policy ->
+  ?stack_policy:Machine.stack_policy ->
+  ?return_env:Machine.return_env ->
+  ?evlis_drop_at_creation:bool ->
+  variant:Machine.variant ->
+  program:Tailspace_ast.Ast.expr ->
+  n:int ->
+  unit ->
+  measurement
+
+val sweep :
+  ?fuel:int ->
+  ?measure_linked:bool ->
+  ?gc_policy:[ `Exact | `Approximate ] ->
+  ?perm:Machine.perm_policy ->
+  ?stack_policy:Machine.stack_policy ->
+  ?return_env:Machine.return_env ->
+  ?evlis_drop_at_creation:bool ->
+  variant:Machine.variant ->
+  program:Tailspace_ast.Ast.expr ->
+  ns:int list ->
+  unit ->
+  measurement list
+(** One machine instance reused across the inputs. *)
+
+val spaces : measurement list -> (int * int) list
+(** [(n, space)] pairs of the successful measurements. *)
+
+val linked_spaces : measurement list -> (int * int) list
+
+val all_answered : measurement list -> bool

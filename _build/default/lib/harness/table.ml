@@ -1,0 +1,43 @@
+let is_numeric s =
+  s <> ""
+  && String.for_all
+       (function '0' .. '9' | '.' | '-' | '+' | '%' | 'e' -> true | _ -> false)
+       s
+
+let render ~header rows =
+  let all = header :: rows in
+  let columns =
+    List.fold_left (fun acc row -> Stdlib.max acc (List.length row)) 0 all
+  in
+  let widths = Array.make columns 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         widths.(i) <- Stdlib.max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 256 in
+  let pad i cell =
+    let w = widths.(i) in
+    let s = String.length cell in
+    if s >= w then cell
+    else if is_numeric cell then String.make (w - s) ' ' ^ cell
+    else cell ^ String.make (w - s) ' '
+  in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  Buffer.add_string buf
+    (String.concat "  "
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.sprintf "\n%s\n| %s |\n%s\n" bar title bar

@@ -1,0 +1,9 @@
+(** Fixed-width ASCII tables for the experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** Columns sized to their widest cell; numeric-looking cells are
+    right-aligned, others left-aligned. The result ends with a
+    newline. *)
+
+val section : string -> string
+(** A banner line for an experiment heading. *)

@@ -1,0 +1,1 @@
+lib/sexp/datum.ml: Array Buffer Format List String Tailspace_bignum

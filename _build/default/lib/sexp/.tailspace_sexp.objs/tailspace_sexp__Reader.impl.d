@@ -1,0 +1,1 @@
+lib/sexp/reader.ml: Array Buffer Datum Format List Option Printf String Tailspace_bignum

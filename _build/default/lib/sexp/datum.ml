@@ -1,0 +1,99 @@
+module Bignum = Tailspace_bignum.Bignum
+
+type t =
+  | Bool of bool
+  | Int of Bignum.t
+  | Sym of string
+  | Str of string
+  | Char of char
+  | Nil
+  | Pair of t * t
+  | Vector of t array
+
+let rec equal a b =
+  match (a, b) with
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> Bignum.equal x y
+  | Sym x, Sym y -> String.equal x y
+  | Str x, Str y -> String.equal x y
+  | Char x, Char y -> x = y
+  | Nil, Nil -> true
+  | Pair (a1, d1), Pair (a2, d2) -> equal a1 a2 && equal d1 d2
+  | Vector x, Vector y ->
+      Array.length x = Array.length y
+      && (let rec go i =
+            i >= Array.length x || (equal x.(i) y.(i) && go (i + 1))
+          in
+          go 0)
+  | (Bool _ | Int _ | Sym _ | Str _ | Char _ | Nil | Pair _ | Vector _), _ ->
+      false
+
+let list ds = List.fold_right (fun d acc -> Pair (d, acc)) ds Nil
+
+let to_list d =
+  let rec go acc = function
+    | Nil -> Some (List.rev acc)
+    | Pair (a, rest) -> go (a :: acc) rest
+    | Bool _ | Int _ | Sym _ | Str _ | Char _ | Vector _ -> None
+  in
+  go [] d
+
+let sym s = Sym s
+let int n = Int (Bignum.of_int n)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_char ppf c =
+  match c with
+  | ' ' -> Format.pp_print_string ppf "#\\space"
+  | '\n' -> Format.pp_print_string ppf "#\\newline"
+  | '\t' -> Format.pp_print_string ppf "#\\tab"
+  | c -> Format.fprintf ppf "#\\%c" c
+
+let rec pp ppf d =
+  match d with
+  | Bool true -> Format.pp_print_string ppf "#t"
+  | Bool false -> Format.pp_print_string ppf "#f"
+  | Int z -> Bignum.pp ppf z
+  | Sym s -> Format.pp_print_string ppf s
+  | Str s -> Format.fprintf ppf "\"%s\"" (escape_string s)
+  | Char c -> pp_char ppf c
+  | Nil -> Format.pp_print_string ppf "()"
+  | Pair _ -> pp_pair ppf d
+  | Vector elts ->
+      Format.pp_print_string ppf "#(";
+      Array.iteri
+        (fun i e ->
+          if i > 0 then Format.pp_print_char ppf ' ';
+          pp ppf e)
+        elts;
+      Format.pp_print_char ppf ')'
+
+and pp_pair ppf d =
+  Format.pp_print_char ppf '(';
+  let rec go first d =
+    match d with
+    | Nil -> ()
+    | Pair (a, rest) ->
+        if not first then Format.pp_print_char ppf ' ';
+        pp ppf a;
+        go false rest
+    | tail ->
+        Format.pp_print_string ppf " . ";
+        pp ppf tail
+  in
+  go true d;
+  Format.pp_print_char ppf ')'
+
+let to_string d = Format.asprintf "%a" pp d

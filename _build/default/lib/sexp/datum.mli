@@ -1,0 +1,33 @@
+(** External representation of Scheme data (R5RS-style datums).
+
+    A datum is what the reader produces and what [quote] wraps; the
+    expander lowers datums into Core Scheme expressions, and the machine
+    never sees this type at run time. *)
+
+type t =
+  | Bool of bool
+  | Int of Tailspace_bignum.Bignum.t
+  | Sym of string
+  | Str of string
+  | Char of char
+  | Nil  (** the empty list [()] *)
+  | Pair of t * t
+  | Vector of t array
+
+val equal : t -> t -> bool
+
+val list : t list -> t
+(** [list [d1; ...; dn]] is the proper list [(d1 ... dn)]. *)
+
+val to_list : t -> t list option
+(** Inverse of {!list}: [Some elements] when the datum is a proper
+    list, [None] otherwise (improper tails, atoms). *)
+
+val sym : string -> t
+val int : int -> t
+
+val pp : Format.formatter -> t -> unit
+(** [write]-style rendering: strings quoted and escaped, characters in
+    [#\x] notation. *)
+
+val to_string : t -> string

@@ -1,0 +1,281 @@
+module Bignum = Tailspace_bignum.Bignum
+
+type error = { message : string; line : int; col : int }
+
+let pp_error ppf e =
+  Format.fprintf ppf "parse error at %d:%d: %s" e.line e.col e.message
+
+exception Parse_error of error
+
+(* A small hand-rolled scanner over the input string; [pos]/[line]/[col]
+   track the current position for error reporting. *)
+type state = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let make_state src = { src; pos = 0; line = 1; col = 1 }
+let at_eof st = st.pos >= String.length st.src
+let peek st = if at_eof st then None else Some st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then None else Some st.src.[st.pos + 1]
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let fail st message = raise (Parse_error { message; line = st.line; col = st.col })
+
+let is_delimiter = function
+  | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> true
+  | _ -> false
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_symbol_initial c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  ||
+  match c with
+  | '!' | '$' | '%' | '&' | '*' | '/' | ':' | '<' | '=' | '>' | '?' | '^'
+  | '_' | '~' ->
+      true
+  | _ -> false
+
+let is_symbol_subsequent c =
+  is_symbol_initial c || is_digit c
+  || match c with '+' | '-' | '.' | '@' -> true | _ -> false
+
+(* Skip whitespace and comments ([;] to end of line, nesting [#| |#]). *)
+let rec skip_atmosphere st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_atmosphere st
+  | Some ';' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_atmosphere st
+  | Some '#' when peek2 st = Some '|' ->
+      advance st;
+      advance st;
+      let rec block depth =
+        match (peek st, peek2 st) with
+        | None, _ -> fail st "unterminated block comment"
+        | Some '|', Some '#' ->
+            advance st;
+            advance st;
+            if depth > 1 then block (depth - 1)
+        | Some '#', Some '|' ->
+            advance st;
+            advance st;
+            block (depth + 1)
+        | Some _, _ ->
+            advance st;
+            block depth
+      in
+      block 1;
+      skip_atmosphere st
+  | Some _ | None -> ()
+
+let read_token_while st pred =
+  let start = st.pos in
+  while (not (at_eof st)) && pred st.src.[st.pos] do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let read_string_literal st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' ->
+            Buffer.add_char buf '"';
+            advance st;
+            go ()
+        | Some '\\' ->
+            Buffer.add_char buf '\\';
+            advance st;
+            go ()
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance st;
+            go ()
+        | Some c -> fail st (Printf.sprintf "unknown string escape \\%c" c)
+        | None -> fail st "unterminated string escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Datum.Str (Buffer.contents buf)
+
+let read_character st =
+  (* after "#\\" *)
+  match peek st with
+  | None -> fail st "unterminated character literal"
+  | Some c when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ->
+      let name = read_token_while st (fun c -> not (is_delimiter c)) in
+      if String.length name = 1 then Datum.Char name.[0]
+      else (
+        match String.lowercase_ascii name with
+        | "space" -> Datum.Char ' '
+        | "newline" -> Datum.Char '\n'
+        | "tab" -> Datum.Char '\t'
+        | _ -> fail st (Printf.sprintf "unknown character name #\\%s" name))
+  | Some c ->
+      advance st;
+      Datum.Char c
+
+let rec read_datum st =
+  skip_atmosphere st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '(' ->
+      advance st;
+      read_list st
+  | Some ')' -> fail st "unexpected )"
+  | Some '"' -> read_string_literal st
+  | Some '\'' ->
+      advance st;
+      Datum.list [ Datum.Sym "quote"; read_datum st ]
+  | Some '`' ->
+      advance st;
+      Datum.list [ Datum.Sym "quasiquote"; read_datum st ]
+  | Some ',' ->
+      advance st;
+      if peek st = Some '@' then (
+        advance st;
+        Datum.list [ Datum.Sym "unquote-splicing"; read_datum st ])
+      else Datum.list [ Datum.Sym "unquote"; read_datum st ]
+  | Some '#' -> (
+      match peek2 st with
+      | Some 't' | Some 'f' ->
+          advance st;
+          let c = Option.get (peek st) in
+          advance st;
+          (match peek st with
+          | Some d when not (is_delimiter d) ->
+              fail st "junk after boolean literal"
+          | _ -> ());
+          Datum.Bool (c = 't')
+      | Some '\\' ->
+          advance st;
+          advance st;
+          read_character st
+      | Some '(' ->
+          advance st;
+          advance st;
+          read_vector st
+      | Some ';' ->
+          advance st;
+          advance st;
+          let _skipped : Datum.t = read_datum st in
+          read_datum st
+      | Some '!' ->
+          (* #!unspecified / #!undefined and friends read as symbols, so
+             the Core Scheme pretty-printer's output can be re-read. *)
+          let tok = read_token_while st (fun c -> not (is_delimiter c)) in
+          Datum.Sym tok
+      | _ -> fail st "unknown # syntax")
+  | Some c when is_digit c -> read_number_or_symbol st
+  | Some ('+' | '-') -> read_number_or_symbol st
+  | Some '.' -> read_number_or_symbol st
+  | Some c when is_symbol_initial c ->
+      let tok = read_token_while st (fun c -> not (is_delimiter c)) in
+      Datum.Sym tok
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+and read_number_or_symbol st =
+  let tok = read_token_while st (fun c -> not (is_delimiter c)) in
+  let is_number =
+    let digits_from i =
+      i < String.length tok
+      &&
+      let rec go j = j >= String.length tok || (is_digit tok.[j] && go (j + 1)) in
+      go i
+    in
+    match tok.[0] with
+    | '0' .. '9' -> digits_from 0
+    | '+' | '-' -> digits_from 1
+    | _ -> false
+  in
+  if is_number then Datum.Int (Bignum.of_string tok)
+  else if tok = "+" || tok = "-" || tok = "..." then Datum.Sym tok
+  else if
+    String.length tok > 0
+    && (is_symbol_initial tok.[0])
+    && String.for_all is_symbol_subsequent tok
+  then Datum.Sym tok
+  else fail st (Printf.sprintf "malformed token %S" tok)
+
+and read_list st =
+  skip_atmosphere st;
+  match peek st with
+  | None -> fail st "unterminated list"
+  | Some ')' ->
+      advance st;
+      Datum.Nil
+  | Some '.' when (match peek2 st with Some c -> is_delimiter c | None -> true)
+    ->
+      advance st;
+      let tail = read_datum st in
+      skip_atmosphere st;
+      (match peek st with
+      | Some ')' ->
+          advance st;
+          tail
+      | _ -> fail st "expected ) after dotted tail")
+  | Some _ ->
+      let head = read_datum st in
+      Datum.Pair (head, read_list st)
+
+and read_vector st =
+  let rec elements acc =
+    skip_atmosphere st;
+    match peek st with
+    | None -> fail st "unterminated vector"
+    | Some ')' ->
+        advance st;
+        List.rev acc
+    | Some _ -> elements (read_datum st :: acc)
+  in
+  Datum.Vector (Array.of_list (elements []))
+
+let parse_all_exn src =
+  let st = make_state src in
+  let rec go acc =
+    skip_atmosphere st;
+    if at_eof st then List.rev acc else go (read_datum st :: acc)
+  in
+  go []
+
+let parse_one_exn src =
+  let st = make_state src in
+  let d = read_datum st in
+  skip_atmosphere st;
+  if at_eof st then d else fail st "trailing input after datum"
+
+let wrap f src = try Ok (f src) with Parse_error e -> Error e
+let parse_all src = wrap parse_all_exn src
+let parse_one src = wrap parse_one_exn src

@@ -1,0 +1,25 @@
+(** Reader: Scheme external syntax -> {!Datum.t}.
+
+    Handles the R5RS lexical conventions needed by the corpus: symbols,
+    exact integers (arbitrary precision), [#t]/[#f], characters, strings
+    with escapes, proper and dotted lists, vectors [#(...)], the
+    [' ` , ,@] abbreviations, line comments [;], block comments
+    [#| ... |#] (nesting), and datum comments [#;]. *)
+
+type error = { message : string; line : int; col : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Parse_error of error
+
+val parse_all : string -> (Datum.t list, error) result
+(** All datums in the input, in order. *)
+
+val parse_one : string -> (Datum.t, error) result
+(** Exactly one datum; trailing non-whitespace is an error. *)
+
+val parse_all_exn : string -> Datum.t list
+(** @raise Parse_error on malformed input. *)
+
+val parse_one_exn : string -> Datum.t
+(** @raise Parse_error on malformed input. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest List Tailspace_analysis Tailspace_corpus

@@ -1,0 +1,1 @@
+test/test_ast.ml: Alcotest List Tailspace_ast Tailspace_expander

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest List QCheck QCheck_alcotest Tailspace_bignum

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest List Option Printexc Printf Stdlib String Tailspace_ast Tailspace_core Tailspace_corpus Tailspace_expander Tailspace_harness

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest List Printf QCheck QCheck_alcotest String Tailspace_ast Tailspace_bignum Tailspace_core

@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Hashtbl List Tailspace_ast Tailspace_bignum Tailspace_core

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest List Stdlib String Tailspace_ast Tailspace_bignum Tailspace_core Tailspace_expander

@@ -1,0 +1,1 @@
+test/test_sexp.ml: Alcotest Array List QCheck QCheck_alcotest Tailspace_bignum Tailspace_sexp

@@ -1,0 +1,1 @@
+test/test_space.ml: Alcotest List Printf Tailspace_ast Tailspace_bignum Tailspace_core Tailspace_expander

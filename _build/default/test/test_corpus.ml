@@ -1,0 +1,157 @@
+(* Corpus integrity: every program parses, expands, and produces its
+   expected answers; the parameterized families behave as documented. *)
+
+module C = Tailspace_corpus.Corpus
+module F = Tailspace_corpus.Families
+module M = Tailspace_core.Machine
+module E = Tailspace_expander.Expand
+module R = Tailspace_harness.Runner
+
+let test_all_parse_and_expand () =
+  List.iter
+    (fun (e : C.entry) ->
+      match C.program e with
+      | _ -> ()
+      | exception exn ->
+          Alcotest.failf "%s failed to expand: %s" e.C.name (Printexc.to_string exn))
+    C.all
+
+let test_names_unique () =
+  let names = C.names () in
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "no duplicates" (List.length names) (List.length sorted)
+
+let test_find () =
+  Alcotest.(check bool) "find hit" true (Option.is_some (C.find "countdown"));
+  Alcotest.(check bool) "find miss" true (Option.is_none (C.find "nonesuch"))
+
+let run_check variant (e : C.entry) (n, expected) =
+  let m = R.run_once ~variant ~program:(C.program e) ~n () in
+  match m.R.status with
+  | R.Answer a ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s(%d) under %s" e.C.name n (M.variant_name variant))
+        expected a
+  | R.Stuck msg -> Alcotest.failf "%s(%d): stuck: %s" e.C.name n msg
+  | R.Fuel -> Alcotest.failf "%s(%d): out of fuel" e.C.name n
+
+let test_checks_tail () =
+  List.iter (fun (e : C.entry) -> List.iter (run_check M.Tail e) e.C.checks) C.all
+
+let test_checks_sfs_fast_entries () =
+  (* spot-check the most aggressive variant on the fast corpus *)
+  C.all
+  |> List.filter (fun (e : C.entry) -> not e.C.slow)
+  |> List.iter (fun (e : C.entry) ->
+         match e.C.checks with
+         | check :: _ -> run_check M.Sfs e check
+         | [] -> ())
+
+let test_every_entry_is_unary_procedure () =
+  (* §12's convention: the program evaluates to a procedure of one
+     argument — checked by actually applying it *)
+  List.iter
+    (fun (e : C.entry) ->
+      match e.C.checks with
+      | (n, _) :: _ ->
+          let m = R.run_once ~variant:M.Tail ~program:(C.program e) ~n () in
+          (match m.R.status with
+          | R.Answer _ -> ()
+          | R.Stuck msg -> Alcotest.failf "%s not runnable: %s" e.C.name msg
+          | R.Fuel -> Alcotest.failf "%s starved" e.C.name)
+      | [] -> Alcotest.failf "%s has no checks" e.C.name)
+    C.all
+
+(* --- families --- *)
+
+let test_separators_answer () =
+  (* the first two separators count down to 0; the last two return the
+     top-level n through the trailing thunk *)
+  let expected = function
+    | "stack/gc" | "gc/tail" -> "0"
+    | "tail/evlis" | "evlis/sfs" -> "6"
+    | other -> Alcotest.failf "unknown separator %s" other
+  in
+  List.iter
+    (fun (name, src) ->
+      let program = E.program_of_string src in
+      List.iter
+        (fun variant ->
+          let m = R.run_once ~variant ~program ~n:6 () in
+          match m.R.status with
+          | R.Answer a ->
+              Alcotest.(check string)
+                (name ^ " " ^ M.variant_name variant)
+                (expected name) a
+          | R.Stuck msg -> Alcotest.failf "%s stuck: %s" name msg
+          | R.Fuel -> Alcotest.failf "%s starved" name)
+        M.all_variants)
+    F.separators
+
+let test_pk_program_generates () =
+  List.iter
+    (fun k ->
+      let program = E.program_of_string (F.pk_program k) in
+      let m = R.run_once ~variant:M.Tail ~program ~n:(Stdlib.max 1 k) () in
+      match m.R.status with
+      | R.Answer a ->
+          (* the chosen thunk returns (list i x0 ... xk) with i = 1..n *)
+          Alcotest.(check bool)
+            (Printf.sprintf "P_%d returns a list" k)
+            true
+            (String.length a > 0 && a.[0] = '(')
+      | R.Stuck msg -> Alcotest.failf "P_%d stuck: %s" k msg
+      | R.Fuel -> Alcotest.failf "P_%d starved" k)
+    [ 1; 3; 8 ]
+
+let test_pk_size_grows () =
+  let size k = Tailspace_ast.Ast.size (E.program_of_string (F.pk_program k)) in
+  Alcotest.(check bool) "|P_k| grows with k" true (size 10 > size 2)
+
+let test_find_leftmost_family_answers () =
+  let run src n =
+    let m =
+      R.run_once ~variant:M.Tail ~program:(E.program_of_string src) ~n ()
+    in
+    match m.R.status with
+    | R.Answer a -> a
+    | R.Stuck msg -> "stuck: " ^ msg
+    | R.Fuel -> "fuel"
+  in
+  Alcotest.(check string) "right traverse fails overall" "not-found"
+    (run F.find_leftmost_right_traverse 10);
+  Alcotest.(check string) "left traverse fails overall" "not-found"
+    (run F.find_leftmost_left_traverse 10);
+  Alcotest.(check string) "right build" "built" (run F.find_leftmost_right_build 10);
+  Alcotest.(check string) "left build" "built" (run F.find_leftmost_left_build 10)
+
+let test_cps_loop_answer () =
+  let program = E.program_of_string F.cps_loop in
+  let m = R.run_once ~variant:M.Tail ~program ~n:100 () in
+  match m.R.status with
+  | R.Answer a -> Alcotest.(check string) "gauss sum" "5050" a
+  | _ -> Alcotest.fail "cps loop failed"
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "entries",
+        [
+          Alcotest.test_case "parse and expand" `Quick test_all_parse_and_expand;
+          Alcotest.test_case "names unique" `Quick test_names_unique;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "unary convention" `Quick test_every_entry_is_unary_procedure;
+          Alcotest.test_case "checks under I_tail" `Slow test_checks_tail;
+          Alcotest.test_case "checks under I_sfs" `Quick test_checks_sfs_fast_entries;
+        ] );
+      ( "families",
+        [
+          Alcotest.test_case "separators behave everywhere" `Quick
+            test_separators_answer;
+          Alcotest.test_case "P_k generates and runs" `Quick test_pk_program_generates;
+          Alcotest.test_case "P_k size grows" `Quick test_pk_size_grows;
+          Alcotest.test_case "find-leftmost family" `Quick
+            test_find_leftmost_family_answers;
+          Alcotest.test_case "cps loop" `Quick test_cps_loop_answer;
+        ] );
+    ]

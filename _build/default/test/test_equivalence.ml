@@ -1,0 +1,133 @@
+(* Property-based checks of Corollary 20 (all reference implementations
+   compute the same answers) and Theorem 24 (the pointwise space
+   hierarchy) over randomly generated closed Core Scheme programs, plus
+   permutation-independence for effect-free programs.
+
+   The generator produces terminating programs by construction: no
+   recursion, depth-bounded, no set!. *)
+
+module A = Tailspace_ast.Ast
+module M = Tailspace_core.Machine
+module B = Tailspace_bignum.Bignum
+
+let gen_expr =
+  let open QCheck.Gen in
+  let const = map (fun n -> A.Quote (A.C_int (B.of_int n))) (int_range (-50) 50) in
+  let var env = if env = [] then const else map (fun i -> A.Var (List.nth env (i mod List.length env))) (int_range 0 100) in
+  let fresh = map (fun i -> Printf.sprintf "v%d" i) (int_range 0 1000) in
+  let rec go env depth =
+    if depth = 0 then oneof [ const; var env ]
+    else
+      let sub = go env (depth - 1) in
+      frequency
+        [
+          (2, const);
+          (2, var env);
+          ( 3,
+            map3
+              (fun op a b -> A.Call (A.Var op, [ a; b ]))
+              (oneofl [ "+"; "-"; "*" ])
+              sub sub );
+          ( 2,
+            map3
+              (fun a b c -> A.If (A.Call (A.Var "zero?", [ a ]), b, c))
+              sub sub sub );
+          ( 2,
+            fresh >>= fun x ->
+            map2
+              (fun init body ->
+                A.Call (A.Lambda { params = [ x ]; rest = None; body }, [ init ]))
+              sub
+              (go (x :: env) (depth - 1)) );
+          ( 1,
+            map2 (fun a b -> A.Call (A.Var "cons", [ a; b ])) sub sub );
+          ( 1,
+            map2
+              (fun a b ->
+                A.Call (A.Var "car", [ A.Call (A.Var "cons", [ a; b ]) ]))
+              sub sub );
+          ( 1,
+            fresh >>= fun x ->
+            map2
+              (fun arg body ->
+                A.Call
+                  ( A.Var "apply",
+                    [
+                      A.Lambda { params = [ x ]; rest = None; body };
+                      A.Call (A.Var "list", [ arg ]);
+                    ] ))
+              sub
+              (go (x :: env) (depth - 1)) );
+        ]
+  in
+  go [] 4
+
+let arb_expr = QCheck.make ~print:A.to_string gen_expr
+
+let run_variant ?(perm = M.Left_to_right) variant e =
+  let t = M.create ~variant ~perm () in
+  let r = M.run ~fuel:2_000_000 t e in
+  (r.M.outcome, M.space_consumption r)
+
+let answer_of = function
+  | M.Done { answer; _ } -> answer
+  | M.Stuck m -> "stuck: " ^ m
+  | M.Out_of_fuel -> "fuel"
+
+let prop_corollary20 =
+  QCheck.Test.make ~name:"all six variants compute the same answer" ~count:150
+    arb_expr (fun e ->
+      let reference = answer_of (fst (run_variant M.Tail e)) in
+      List.for_all
+        (fun v -> String.equal reference (answer_of (fst (run_variant v e))))
+        M.all_variants)
+
+let prop_theorem24 =
+  QCheck.Test.make ~name:"pointwise space hierarchy on random programs"
+    ~count:100 arb_expr (fun e ->
+      let s v =
+        match run_variant v e with
+        | M.Done _, space -> Some space
+        | _ -> None
+      in
+      match (s M.Tail, s M.Gc, s M.Stack, s M.Evlis, s M.Free, s M.Sfs) with
+      | Some tail, Some gc, Some stack, Some evlis, Some free, Some sfs ->
+          tail <= gc && gc <= stack && sfs <= evlis && evlis <= tail
+          && sfs <= free && free <= tail
+      | _ -> QCheck.assume_fail ())
+
+let prop_permutation_independent =
+  QCheck.Test.make
+    ~name:"effect-free programs: same answer under any argument order"
+    ~count:100 arb_expr (fun e ->
+      (* Stuck programs are excluded: which of several errors is hit
+         first legitimately depends on the permutation. Completed
+         computations must agree. *)
+      match fst (run_variant M.Tail e) with
+      | M.Done { answer = reference; _ } ->
+          List.for_all
+            (fun perm ->
+              String.equal reference
+                (answer_of (fst (run_variant ~perm M.Tail e))))
+            [ M.Right_to_left; M.Seeded 1; M.Seeded 99 ]
+      | _ -> QCheck.assume_fail ())
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"repeated runs are identical" ~count:50 arb_expr
+    (fun e ->
+      let o1, s1 = run_variant M.Gc e in
+      let o2, s2 = run_variant M.Gc e in
+      String.equal (answer_of o1) (answer_of o2) && s1 = s2)
+
+let () =
+  Alcotest.run "equivalence"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_corollary20;
+            prop_theorem24;
+            prop_permutation_independent;
+            prop_deterministic;
+          ] );
+    ]

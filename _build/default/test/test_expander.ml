@@ -1,0 +1,177 @@
+(* Expander: every derived form, the §12 constant lowering, body and
+   program assembly, and error cases. Where the exact expansion shape
+   matters for the space experiments (begin, letrec), the shape itself
+   is asserted; elsewhere behavior is checked via the machine in
+   test_machine.ml. *)
+
+module A = Tailspace_ast.Ast
+module E = Tailspace_expander.Expand
+module D = Tailspace_sexp.Datum
+
+let expr s =
+  E.reset_gensym ();
+  E.expression_of_string s
+
+let prog s =
+  E.reset_gensym ();
+  E.program_of_string s
+
+let shape name s expected = Alcotest.(check string) name expected (A.to_string (expr s))
+
+let test_constants () =
+  shape "int" "42" "(quote 42)";
+  shape "bool" "#t" "(quote #t)";
+  shape "string" "\"hi\"" "(quote \"hi\")";
+  shape "char" "#\\a" "(quote #\\a)";
+  shape "symbol quote" "'foo" "(quote foo)";
+  shape "empty list" "'()" "(quote ())"
+
+let test_compound_quote_lowering () =
+  (* §12: compound constants become allocation calls *)
+  shape "quoted list" "'(1 2)"
+    "(cons (quote 1) (cons (quote 2) (quote ())))";
+  shape "quoted dotted" "'(a . b)" "(cons (quote a) (quote b))";
+  shape "quoted vector" "'#(1 2)" "(vector (quote 1) (quote 2))";
+  shape "nested" "'((1) 2)"
+    "(cons (cons (quote 1) (quote ())) (cons (quote 2) (quote ())))"
+
+let test_if_forms () =
+  shape "two-armed" "(if a b c)" "(if a b c)";
+  shape "one-armed" "(if a b)" "(if a b (quote #!unspecified))"
+
+let test_lambda_forms () =
+  shape "fixed" "(lambda (x y) x)" "(lambda (x y) x)";
+  shape "rest only" "(lambda args args)" "(lambda args args)";
+  shape "dotted" "(lambda (a . r) r)" "(lambda (a . r) r)";
+  shape "multi-body becomes seq" "(lambda (x) (f x) x)"
+    "(lambda (x) ((lambda (%seq0) x) (f x)))"
+
+let test_begin_encoding () =
+  (* the let-style encoding that the evlis experiments depend on *)
+  shape "begin pair" "(begin a b)" "((lambda (%seq0) b) a)";
+  shape "begin single" "(begin a)" "a";
+  shape "begin empty" "(begin)" "(quote #!unspecified)";
+  shape "begin triple" "(begin a b c)"
+    "((lambda (%seq1) ((lambda (%seq0) c) b)) a)"
+
+let test_let_family () =
+  shape "let" "(let ((x 1) (y 2)) (f x y))"
+    "((lambda (x y) (f x y)) (quote 1) (quote 2))";
+  shape "let empty bindings" "(let () 5)" "((lambda () (quote 5)))";
+  shape "let*" "(let* ((x 1) (y x)) y)"
+    "((lambda (x) ((lambda (y) y) x)) (quote 1))";
+  shape "letrec" "(letrec ((f (lambda () (f)))) (f))"
+    "((lambda (f) ((lambda (%seq0) (f)) (set! f (lambda () (f))))) (quote #!undefined))";
+  shape "named let" "(let loop ((i 0)) (loop i))"
+    "((lambda (loop) ((lambda (%seq0) (loop (quote 0))) (set! loop (lambda (i) (loop i))))) (quote #!undefined))"
+
+let test_cond () =
+  shape "cond basic" "(cond (a 1) (else 2))" "(if a (quote 1) (quote 2))";
+  shape "cond no else" "(cond (a 1))" "(if a (quote 1) (quote #!unspecified))";
+  shape "cond test only" "(cond (a) (else 2))"
+    "((lambda (%cond0) (if %cond0 %cond0 (quote 2))) a)";
+  shape "cond arrow" "(cond (a => f) (else 2))"
+    "((lambda (%cond0) (if %cond0 (f %cond0) (quote 2))) a)";
+  shape "cond multi-body" "(cond (a 1 2))"
+    "(if a ((lambda (%seq0) (quote 2)) (quote 1)) (quote #!unspecified))"
+
+let test_and_or () =
+  shape "and empty" "(and)" "(quote #t)";
+  shape "and single" "(and a)" "a";
+  shape "and multi" "(and a b)" "(if a b (quote #f))";
+  shape "or empty" "(or)" "(quote #f)";
+  shape "or single" "(or a)" "a";
+  shape "or multi" "(or a b)" "((lambda (%or0) (if %or0 %or0 b)) a)"
+
+let test_when_unless () =
+  shape "when" "(when c a)" "(if c a (quote #!unspecified))";
+  shape "unless" "(unless c a)" "(if c (quote #!unspecified) a)"
+
+let test_case () =
+  shape "case" "(case x ((1) 'one) (else 'more))"
+    "((lambda (%case0) (if (memv %case0 (cons (quote 1) (quote ()))) (quote one) (quote more))) x)"
+
+let test_quasiquote () =
+  shape "simple" "`a" "(quote a)";
+  shape "unquote" "`(a ,b)" "(cons (quote a) (cons b (quote ())))";
+  shape "splicing" "`(,@xs b)" "(append xs (cons (quote b) (quote ())))";
+  shape "nested stays quoted" "``,a"
+    "(list (quote quasiquote) (list (quote unquote) (quote a)))";
+  shape "vector qq" "`#(,x)" "(vector x)"
+
+let test_do_loop () =
+  (* behavioral shape: a letrec'd loop procedure *)
+  let e = expr "(do ((i 0 (+ i 1))) ((= i 3) 'done))" in
+  Alcotest.(check bool) "expands to a call" true
+    (match e with A.Call _ -> true | _ -> false)
+
+let test_internal_defines () =
+  shape "internal define" "(lambda (x) (define y 1) (+ x y))"
+    "(lambda (x) ((lambda (y) ((lambda (%seq0) (+ x y)) (set! y (quote 1)))) (quote #!undefined)))"
+
+let test_program_assembly () =
+  let p = prog "(define (f) 1) (define g 2) (f)" in
+  Alcotest.(check bool) "program is a call" true
+    (match p with A.Call _ -> true | _ -> false);
+  (* no trailing expression: last define's name is the program value *)
+  let p2 = prog "(define (f n) n)" in
+  Alcotest.(check bool) "defaults to last define" true
+    (match p2 with A.Call _ -> true | _ -> false)
+
+let test_top_level_define () =
+  (match E.top_level_define (Tailspace_sexp.Reader.parse_one_exn "(define (f x) x)") with
+  | Some (name, A.Lambda _) -> Alcotest.(check string) "name" "f" name
+  | _ -> Alcotest.fail "expected procedure define");
+  match E.top_level_define (Tailspace_sexp.Reader.parse_one_exn "(f x)") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "non-define should be None"
+
+let expand_fails s =
+  match E.expression_of_string s with
+  | exception E.Expand_error _ -> ()
+  | e -> Alcotest.failf "expected Expand_error for %S, got %s" s (A.to_string e)
+
+let test_errors () =
+  expand_fails "()";
+  expand_fails "(if)";
+  expand_fails "(if a)";
+  expand_fails "(if a b c d)";
+  expand_fails "(lambda (x))";
+  expand_fails "(lambda (1) x)";
+  expand_fails "(set! 1 2)";
+  expand_fails "(set! x)";
+  expand_fails "(let ((x)) x)";
+  expand_fails "(let ((x 1 2)) x)";
+  expand_fails "(quote a b)";
+  expand_fails "(unquote x)";
+  expand_fails "#(1 2)" (* unquoted vector literal *);
+  expand_fails "(cond (else 1) (a 2))" (* else not last *);
+  expand_fails "(define x 1)" (* define in expression position *);
+  expand_fails "(lambda (x) (define y 1))" (* body without expression *)
+
+let () =
+  Alcotest.run "expander"
+    [
+      ( "forms",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "quote lowering" `Quick test_compound_quote_lowering;
+          Alcotest.test_case "if" `Quick test_if_forms;
+          Alcotest.test_case "lambda" `Quick test_lambda_forms;
+          Alcotest.test_case "begin encoding" `Quick test_begin_encoding;
+          Alcotest.test_case "let family" `Quick test_let_family;
+          Alcotest.test_case "cond" `Quick test_cond;
+          Alcotest.test_case "and/or" `Quick test_and_or;
+          Alcotest.test_case "when/unless" `Quick test_when_unless;
+          Alcotest.test_case "case" `Quick test_case;
+          Alcotest.test_case "quasiquote" `Quick test_quasiquote;
+          Alcotest.test_case "do" `Quick test_do_loop;
+          Alcotest.test_case "internal defines" `Quick test_internal_defines;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "assembly" `Quick test_program_assembly;
+          Alcotest.test_case "top-level define" `Quick test_top_level_define;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+(* Reader and printer tests: R5RS-ish lexical syntax, error reporting,
+   and a print/parse roundtrip property over generated datums. *)
+
+module D = Tailspace_sexp.Datum
+module R = Tailspace_sexp.Reader
+module B = Tailspace_bignum.Bignum
+
+let datum = Alcotest.testable D.pp D.equal
+
+let parse s =
+  match R.parse_one s with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "parse %S: %a" s R.pp_error e
+
+let parse_fails s =
+  match R.parse_one s with
+  | Ok d -> Alcotest.failf "expected failure for %S, got %a" s D.pp d
+  | Error _ -> ()
+
+let check s expected = Alcotest.check datum s expected (parse s)
+
+let test_atoms () =
+  check "#t" (D.Bool true);
+  check "#f" (D.Bool false);
+  check "42" (D.int 42);
+  check "-17" (D.int (-17));
+  check "+5" (D.int 5);
+  check "123456789012345678901234567890"
+    (D.Int (B.of_string "123456789012345678901234567890"));
+  check "foo" (D.sym "foo");
+  check "list->vector" (D.sym "list->vector");
+  check "+" (D.sym "+");
+  check "-" (D.sym "-");
+  check "..." (D.sym "...");
+  check "set!" (D.sym "set!");
+  check "\"hello\"" (D.Str "hello");
+  check "#\\a" (D.Char 'a');
+  check "#\\space" (D.Char ' ');
+  check "#\\newline" (D.Char '\n');
+  check "#!unspecified" (D.sym "#!unspecified")
+
+let test_lists () =
+  check "()" D.Nil;
+  check "(1 2 3)" (D.list [ D.int 1; D.int 2; D.int 3 ]);
+  check "(1 . 2)" (D.Pair (D.int 1, D.int 2));
+  check "(1 2 . 3)" (D.Pair (D.int 1, D.Pair (D.int 2, D.int 3)));
+  check "(a (b c) d)"
+    (D.list [ D.sym "a"; D.list [ D.sym "b"; D.sym "c" ]; D.sym "d" ]);
+  check "( 1\n 2 )" (D.list [ D.int 1; D.int 2 ])
+
+let test_vectors () =
+  check "#()" (D.Vector [||]);
+  check "#(1 a \"s\")" (D.Vector [| D.int 1; D.sym "a"; D.Str "s" |]);
+  check "#(#(1) #(2))"
+    (D.Vector [| D.Vector [| D.int 1 |]; D.Vector [| D.int 2 |] |])
+
+let test_quote_sugar () =
+  check "'x" (D.list [ D.sym "quote"; D.sym "x" ]);
+  check "'(1 2)" (D.list [ D.sym "quote"; D.list [ D.int 1; D.int 2 ] ]);
+  check "`x" (D.list [ D.sym "quasiquote"; D.sym "x" ]);
+  check ",x" (D.list [ D.sym "unquote"; D.sym "x" ]);
+  check ",@x" (D.list [ D.sym "unquote-splicing"; D.sym "x" ]);
+  check "''x"
+    (D.list [ D.sym "quote"; D.list [ D.sym "quote"; D.sym "x" ] ])
+
+let test_strings () =
+  check {|"a\"b"|} (D.Str "a\"b");
+  check {|"a\\b"|} (D.Str "a\\b");
+  check {|"line\nbreak"|} (D.Str "line\nbreak");
+  check {|"tab\there"|} (D.Str "tab\there")
+
+let test_comments () =
+  check "; a comment\n42" (D.int 42);
+  check "#| block |# 42" (D.int 42);
+  check "#| nested #| deeper |# still |# 7" (D.int 7);
+  check "(1 ; mid-list\n 2)" (D.list [ D.int 1; D.int 2 ]);
+  check "#;(skipped datum) 9" (D.int 9)
+
+let test_errors () =
+  parse_fails "";
+  parse_fails "(";
+  parse_fails ")";
+  parse_fails "(1 . )";
+  parse_fails "(1 . 2 3)";
+  parse_fails "\"unterminated";
+  parse_fails "#| unterminated";
+  parse_fails "#z";
+  parse_fails "1 2" (* parse_one rejects trailing input *);
+  parse_fails "#\\unknownname"
+
+let test_error_position () =
+  match R.parse_one "(1\n  @bad)" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e ->
+      Alcotest.(check int) "line" 2 e.R.line;
+      Alcotest.(check bool) "col > 1" true (e.R.col > 1)
+
+let test_parse_all () =
+  match R.parse_all "1 2 (3)" with
+  | Ok ds -> Alcotest.(check int) "three datums" 3 (List.length ds)
+  | Error e -> Alcotest.failf "unexpected: %a" R.pp_error e
+
+let test_printer () =
+  let p d = D.to_string d in
+  Alcotest.(check string) "dotted" "(1 2 . 3)"
+    (p (D.Pair (D.int 1, D.Pair (D.int 2, D.int 3))));
+  Alcotest.(check string) "nil" "()" (p D.Nil);
+  Alcotest.(check string) "vector" "#(1 2)" (p (D.Vector [| D.int 1; D.int 2 |]));
+  Alcotest.(check string) "string escape" "\"a\\\"b\"" (p (D.Str "a\"b"));
+  Alcotest.(check string) "char" "#\\space" (p (D.Char ' '))
+
+(* roundtrip property over generated datums *)
+
+let gen_datum =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        map (fun b -> D.Bool b) bool;
+        map (fun n -> D.int n) (int_range (-1000000) 1000000);
+        map (fun s -> D.Sym ("s" ^ string_of_int s)) (int_range 0 50);
+        map (fun s -> D.Str s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 8));
+        map (fun c -> D.Char c) (char_range 'a' 'z');
+        return D.Nil;
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          ( 2,
+            map2 (fun a b -> D.Pair (a, b)) (go (depth - 1)) (go (depth - 1)) );
+          ( 1,
+            map
+              (fun l -> D.Vector (Array.of_list l))
+              (list_size (int_range 0 4) (go (depth - 1))) );
+        ]
+  in
+  go 4
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:500
+    (QCheck.make ~print:D.to_string gen_datum) (fun d ->
+      D.equal d (R.parse_one_exn (D.to_string d)))
+
+let test_to_list () =
+  Alcotest.(check bool) "proper" true
+    (D.to_list (D.list [ D.int 1 ]) = Some [ D.int 1 ]);
+  Alcotest.(check bool) "improper" true
+    (D.to_list (D.Pair (D.int 1, D.int 2)) = None);
+  Alcotest.(check bool) "atom" true (D.to_list (D.int 1) = None);
+  Alcotest.(check bool) "nil" true (D.to_list D.Nil = Some [])
+
+let () =
+  Alcotest.run "sexp"
+    [
+      ( "reader",
+        [
+          Alcotest.test_case "atoms" `Quick test_atoms;
+          Alcotest.test_case "lists" `Quick test_lists;
+          Alcotest.test_case "vectors" `Quick test_vectors;
+          Alcotest.test_case "quote sugar" `Quick test_quote_sugar;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error position" `Quick test_error_position;
+          Alcotest.test_case "parse_all" `Quick test_parse_all;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "printer forms" `Quick test_printer;
+          Alcotest.test_case "to_list" `Quick test_to_list;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+    ]
