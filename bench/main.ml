@@ -86,12 +86,39 @@ let experiment_benches =
                 ~input:(R.input_expr 64) ())));
   ]
 
+(* Telemetry overhead: the same run bare, with counters only, and with
+   a full event sink + profile — the disabled case must stay within
+   noise of the seed (the hot path is one is-None branch per step). *)
+let telemetry_benches =
+  let module Tel = Tailspace_telemetry.Telemetry in
+  let program = Corpus.program (Option.get (Corpus.find "countdown")) in
+  let t = M.create ~variant:M.Tail () in
+  let input = R.input_expr 500 in
+  [
+    Test.make ~name:"off"
+      (Staged.stage (fun () -> ignore (M.run_program t ~program ~input)));
+    Test.make ~name:"counters"
+      (Staged.stage (fun () ->
+           let tl = Tel.create () in
+           ignore (M.run_program ~telemetry:tl t ~program ~input)));
+    Test.make ~name:"events+profile"
+      (Staged.stage (fun () ->
+           let tl =
+             Tel.create
+               ~sink:(fun _ -> ())
+               ~profile:(Tel.Profile.create ~stride:16 ())
+               ()
+           in
+           ignore (M.run_program ~telemetry:tl t ~program ~input)));
+  ]
+
 let run_benches () =
   let tests =
     Test.make_grouped ~name:"bench"
       [
         Test.make_grouped ~name:"experiments" experiment_benches;
         Test.make_grouped ~name:"variants" variant_benches;
+        Test.make_grouped ~name:"telemetry" telemetry_benches;
       ]
   in
   let cfg =

@@ -3,6 +3,8 @@
    subcommands:
      run         evaluate a file or expression on a chosen variant,
                  reporting the answer and the measured space consumption
+     profile     run with full telemetry: JSON summary + CSV space profile
+     bench       sweep a program over several inputs, tabulating space
      analyze     static tail-call statistics (Figure 2) for a file
      corpus      list the shipped corpus, or run one entry
      report      print the paper-reproduction experiment tables *)
@@ -14,13 +16,80 @@ module Reader = Tailspace_sexp.Reader
 module TC = Tailspace_analysis.Tail_calls
 module X = Tailspace_harness.Experiments
 module R = Tailspace_harness.Runner
+module Table = Tailspace_harness.Table
 module Corpus = Tailspace_corpus.Corpus
+module Tel = Tailspace_telemetry.Telemetry
+module Json = Tailspace_telemetry.Telemetry.Json
 
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+(* JSON pieces shared by [run --json], [profile], and [bench --json]. *)
+
+let outcome_name = function
+  | M.Done _ -> "done"
+  | M.Stuck _ -> "stuck"
+  | M.Out_of_fuel -> "out-of-fuel"
+
+let stuck_trace_json tl =
+  Json.List
+    (List.map
+       (fun (step, config) ->
+         Json.Obj [ ("step", Json.Int step); ("config", Json.Str config) ])
+       (Tel.ring_contents tl))
+
+(* The summary object: run-level facts first, then the telemetry
+   summary's fields spliced in at top level (steps, gc_runs,
+   allocations, max_cont_depth, peak_space, peak_linked, ...), then the
+   ring-buffer trace when the run got stuck. *)
+let result_json ~program_name ~variant (result : M.result) tl =
+  let summary_fields =
+    match Tel.summary_to_json (Tel.summary tl) with
+    | Json.Obj fields -> fields
+    | _ -> []
+  in
+  let answer =
+    match result.M.outcome with
+    | M.Done { answer; _ } -> Json.Str answer
+    | _ -> Json.Null
+  in
+  let error =
+    match result.M.outcome with M.Stuck m -> Json.Str m | _ -> Json.Null
+  in
+  Json.Obj
+    ([
+       ("program", Json.Str program_name);
+       ("variant", Json.Str (M.variant_name variant));
+       ("outcome", Json.Str (outcome_name result.M.outcome));
+       ("answer", answer);
+       ("error", error);
+       ("program_size", Json.Int result.M.program_size);
+       ("space_consumption", Json.Int (M.space_consumption result));
+     ]
+    @ summary_fields
+    @
+    match result.M.outcome with
+    | M.Stuck _ -> [ ("stuck_trace", stuck_trace_json tl) ]
+    | _ -> [])
+
+let print_stuck_trace tl =
+  match Tel.ring_contents tl with
+  | [] -> ()
+  | trace ->
+      Format.printf "; last %d configurations before the stuck state:@."
+        (List.length trace);
+      List.iter
+        (fun (step, config) -> Format.printf ";   %6d %s@." step config)
+        trace
 
 (* ------------------------------------------------------------------ *)
 (* shared options                                                      *)
@@ -101,98 +170,297 @@ let profile_arg =
   Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
 
 (* ------------------------------------------------------------------ *)
+(* run / profile shared plumbing                                       *)
+
+let file_pos_arg =
+  let doc = "Scheme source file (use - for stdin)." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let expr_arg =
+  let doc = "Evaluate an inline program instead of a file." in
+  Arg.(value & opt (some string) None & info [ "e"; "expr" ] ~docv:"PROGRAM" ~doc)
+
+let input_arg =
+  let doc =
+    "Treat the program as §12's procedure-of-one-argument and apply it to \
+     this integer."
+  in
+  Arg.(value & opt (some int) None & info [ "n"; "input" ] ~docv:"N" ~doc)
+
+(* (display name, source text) or an error message. *)
+let load_source file expr =
+  match (file, expr) with
+  | _, Some e -> Ok ("<expr>", e)
+  | Some "-", None -> Ok ("<stdin>", In_channel.input_all stdin)
+  | Some f, None -> ( try Ok (f, read_file f) with Sys_error m -> Error m)
+  | None, None -> Error "expected a FILE argument or --expr"
+
+let with_program file expr k =
+  match load_source file expr with
+  | Error m ->
+      Format.eprintf "schemesim: %s@." m;
+      exit 2
+  | Ok (name, source) -> (
+      match Expand.program_of_string source with
+      | exception Reader.Parse_error e ->
+          Format.eprintf "schemesim: %a@." Reader.pp_error e;
+          exit 1
+      | exception Expand.Expand_error e ->
+          Format.eprintf "schemesim: %a@." Expand.pp_error e;
+          exit 1
+      | program -> k name program)
+
+(* ------------------------------------------------------------------ *)
 (* run                                                                 *)
 
 let run_cmd =
-  let file_arg =
-    let doc = "Scheme source file (use - for stdin)." in
-    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
-  in
-  let expr_arg =
-    let doc = "Evaluate an inline program instead of a file." in
-    Arg.(value & opt (some string) None & info [ "e"; "expr" ] ~docv:"PROGRAM" ~doc)
-  in
-  let input_arg =
+  let json_arg =
     let doc =
-      "Treat the program as §12's procedure-of-one-argument and apply it to \
-       this integer."
+      "Print a single JSON object (answer, space, telemetry summary, and the \
+       ring-buffer trace when stuck) instead of the plain-text report."
     in
-    Arg.(value & opt (some int) None & info [ "n"; "input" ] ~docv:"N" ~doc)
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let ring_arg =
+    let doc =
+      "Keep the last $(docv) configurations in a ring buffer, dumped when the \
+       machine gets stuck (0 disables the per-step description cost)."
+    in
+    Arg.(value & opt int 16 & info [ "ring" ] ~docv:"K" ~doc)
   in
   let run file expr input variant perm stack_policy fuel linked trace_steps
-      profile =
-    let source =
-      match (file, expr) with
-      | _, Some e -> Ok e
-      | Some "-", None -> Ok (In_channel.input_all stdin)
-      | Some f, None -> (
-          try Ok (read_file f) with Sys_error m -> Error m)
-      | None, None -> Error "expected a FILE argument or --expr"
+      profile json ring =
+    with_program file expr @@ fun program_name program ->
+    let t = M.create ~variant ~perm ~stack_policy () in
+    let telemetry = Tel.create ~ring () in
+    let trace =
+      if trace_steps <= 0 then None
+      else
+        Some
+          (fun step description ->
+            if step < trace_steps then
+              Format.printf "; %6d %s@." step description)
     in
-    match source with
-    | Error m ->
-        Format.eprintf "schemesim: %s@." m;
-        exit 2
-    | Ok source -> (
-        match
-          let program = Expand.program_of_string source in
-          let t = M.create ~variant ~perm ~stack_policy () in
-          let trace =
-            if trace_steps <= 0 then None
-            else
-              Some
-                (fun step description ->
-                  if step < trace_steps then
-                    Format.printf "; %6d %s@." step description)
-          in
-          let profile_channel = Option.map open_out profile in
-          let on_step =
-            Option.map
-              (fun oc ~steps ~space -> Printf.fprintf oc "%d,%d\n" steps space)
-              profile_channel
-          in
-          let result =
-            Fun.protect
-              ~finally:(fun () -> Option.iter close_out profile_channel)
-              (fun () ->
-                match input with
-                | Some n ->
-                    M.run_program ~fuel ~measure_linked:linked ?on_step ?trace t
-                      ~program ~input:(R.input_expr n)
-                | None ->
-                    M.run ~fuel ~measure_linked:linked ?on_step ?trace t program)
-          in
-          (result, Tailspace_ast.Ast.size program)
-        with
-        | exception Reader.Parse_error e ->
-            Format.eprintf "schemesim: %a@." Reader.pp_error e;
-            exit 1
-        | exception Expand.Expand_error e ->
-            Format.eprintf "schemesim: %a@." Expand.pp_error e;
-            exit 1
-        | result, _psize ->
-            if result.M.output <> "" then print_string result.M.output;
-            (match result.M.outcome with
-            | M.Done { answer; _ } -> Format.printf "%s@." answer
-            | M.Stuck m ->
-                Format.printf "stuck: %s@." m
-            | M.Out_of_fuel -> Format.printf "out of fuel@.");
-            Format.printf
-              "; variant=%s steps=%d |P|=%d peak=%d S=|P|+peak=%d gc-runs=%d@."
-              (M.variant_name variant) result.M.steps result.M.program_size
-              result.M.peak_space
-              (M.space_consumption result)
-              result.M.gc_runs;
-            (match result.M.peak_linked with
-            | Some u -> Format.printf "; linked peak U=%d@." (u + result.M.program_size)
-            | None -> ());
-            (match result.M.outcome with M.Done _ -> () | _ -> exit 1))
+    let profile_channel = Option.map open_out profile in
+    let on_step =
+      Option.map
+        (fun oc ~steps ~space -> Printf.fprintf oc "%d,%d\n" steps space)
+        profile_channel
+    in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Option.iter close_out profile_channel)
+        (fun () ->
+          match input with
+          | Some n ->
+              M.run_program ~fuel ~measure_linked:linked ~telemetry ?on_step
+                ?trace t ~program ~input:(R.input_expr n)
+          | None ->
+              M.run ~fuel ~measure_linked:linked ~telemetry ?on_step ?trace t
+                program)
+    in
+    if json then
+      print_endline
+        (Json.to_string (result_json ~program_name ~variant result telemetry))
+    else begin
+      if result.M.output <> "" then print_string result.M.output;
+      (match result.M.outcome with
+      | M.Done { answer; _ } -> Format.printf "%s@." answer
+      | M.Stuck m ->
+          Format.printf "stuck: %s@." m;
+          print_stuck_trace telemetry
+      | M.Out_of_fuel -> Format.printf "out of fuel@.");
+      Format.printf
+        "; variant=%s steps=%d |P|=%d peak=%d S=|P|+peak=%d gc-runs=%d@."
+        (M.variant_name variant) result.M.steps result.M.program_size
+        result.M.peak_space
+        (M.space_consumption result)
+        result.M.gc_runs;
+      match result.M.peak_linked with
+      | Some u -> Format.printf "; linked peak U=%d@." (u + result.M.program_size)
+      | None -> ()
+    end;
+    match result.M.outcome with M.Done _ -> () | _ -> exit 1
   in
   let doc = "Run a Scheme program on a reference machine and measure space." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ file_arg $ expr_arg $ input_arg $ variant_arg $ perm_arg
-      $ stack_policy_arg $ fuel_arg $ linked_arg $ trace_arg $ profile_arg)
+      const run $ file_pos_arg $ expr_arg $ input_arg $ variant_arg $ perm_arg
+      $ stack_policy_arg $ fuel_arg $ linked_arg $ trace_arg $ profile_arg
+      $ json_arg $ ring_arg)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+
+let profile_cmd =
+  let csv_arg =
+    let doc =
+      "Write the step,space CSV profile to $(docv) (default: the source \
+       basename with a .space.csv suffix)."
+    in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let stride_arg =
+    let doc =
+      "Sample the space profile every $(docv) steps (the stride doubles \
+       automatically if the sample buffer fills)."
+    in
+    Arg.(value & opt int 1 & info [ "stride" ] ~docv:"STEPS" ~doc)
+  in
+  let events_arg =
+    let doc =
+      "Also stream every telemetry event (steps, continuation pushes/pops, \
+       allocations, collections) to $(docv) as JSON lines."
+    in
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+  in
+  let profile file expr input variant perm stack_policy fuel linked csv stride
+      events =
+    with_program file expr @@ fun program_name program ->
+    let t = M.create ~variant ~perm ~stack_policy () in
+    let prof = Tel.Profile.create ~stride () in
+    let events_channel = Option.map open_out events in
+    let sink =
+      Option.map
+        (fun oc ->
+          Tel.jsonl_sink (fun line ->
+              output_string oc line;
+              output_char oc '\n'))
+        events_channel
+    in
+    let telemetry = Tel.create ?sink ~ring:16 ~profile:prof () in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Option.iter close_out events_channel)
+        (fun () ->
+          match input with
+          | Some n ->
+              M.run_program ~fuel ~measure_linked:linked ~telemetry t ~program
+                ~input:(R.input_expr n)
+          | None -> M.run ~fuel ~measure_linked:linked ~telemetry t program)
+    in
+    let csv_path =
+      match csv with
+      | Some p -> p
+      | None ->
+          let base =
+            match file with
+            | Some f when f <> "-" ->
+                Filename.remove_extension (Filename.basename f)
+            | _ -> "profile"
+          in
+          base ^ ".space.csv"
+    in
+    write_file csv_path (Tel.Profile.to_csv prof);
+    if result.M.output <> "" then prerr_string result.M.output;
+    print_endline
+      (Json.to_string (result_json ~program_name ~variant result telemetry));
+    Format.eprintf "; space profile (%d samples, stride %d) -> %s@."
+      (List.length (Tel.Profile.samples prof))
+      (Tel.Profile.stride prof) csv_path;
+    match result.M.outcome with M.Done _ -> () | _ -> exit 1
+  in
+  let doc =
+    "Run with full telemetry: a JSON summary on stdout and a space-over-time \
+     CSV profile on disk."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const profile $ file_pos_arg $ expr_arg $ input_arg $ variant_arg
+      $ perm_arg $ stack_policy_arg $ fuel_arg $ linked_arg $ csv_arg
+      $ stride_arg $ events_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bench                                                               *)
+
+let bench_cmd =
+  let ns_arg =
+    let doc = "Comma-separated input sizes to sweep." in
+    Arg.(value & opt (list int) [ 10; 100; 1000 ] & info [ "ns" ] ~docv:"N,..." ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Print the sweep as a JSON array (one object per input, telemetry \
+       summary included) instead of an ASCII table."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let measurement_json name variant (m : R.measurement) =
+    Json.Obj
+      ([
+         ("program", Json.Str name);
+         ("variant", Json.Str (M.variant_name variant));
+         ("n", Json.Int m.R.n);
+         ("space_consumption", Json.Int m.R.space);
+         ( "linked_space_consumption",
+           match m.R.linked with Some u -> Json.Int u | None -> Json.Null );
+         ( "status",
+           Json.Str
+             (match m.R.status with
+             | R.Answer _ -> "done"
+             | R.Stuck _ -> "stuck"
+             | R.Fuel -> "out-of-fuel") );
+         ( "answer",
+           match m.R.status with
+           | R.Answer a -> Json.Str a
+           | _ -> Json.Null );
+       ]
+      @
+      match m.R.summary with
+      | Some s -> (
+          match Tel.summary_to_json s with Json.Obj fs -> fs | _ -> [])
+      | None -> [])
+  in
+  let bench file expr name_opt ns variant perm stack_policy fuel linked json =
+    let name, program =
+      match name_opt with
+      | Some entry_name -> (
+          match Corpus.find entry_name with
+          | None ->
+              Format.eprintf "schemesim: unknown corpus entry %S@." entry_name;
+              exit 2
+          | Some e -> (entry_name, Corpus.program e))
+      | None -> (
+          match load_source file expr with
+          | Error m ->
+              Format.eprintf "schemesim: %s@." m;
+              exit 2
+          | Ok (name, source) -> (
+              match Expand.program_of_string source with
+              | exception Reader.Parse_error e ->
+                  Format.eprintf "schemesim: %a@." Reader.pp_error e;
+                  exit 1
+              | exception Expand.Expand_error e ->
+                  Format.eprintf "schemesim: %a@." Expand.pp_error e;
+                  exit 1
+              | program -> (name, program)))
+    in
+    let ms =
+      R.sweep ~fuel ~measure_linked:linked ~collect_telemetry:true ~perm
+        ~stack_policy ~variant ~program ~ns ()
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.List (List.map (measurement_json name variant) ms)))
+    else begin
+      Format.printf "%s(n) under %s:@." name (M.variant_name variant);
+      print_string (Table.measurements ms)
+    end
+  in
+  let corpus_name_arg =
+    let doc = "Sweep a shipped corpus entry instead of a file." in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"NAME" ~doc)
+  in
+  let doc =
+    "Sweep a program over several inputs, reporting space consumption, GC \
+     activity, and telemetry per input."
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(
+      const bench $ file_pos_arg $ expr_arg $ corpus_name_arg $ ns_arg
+      $ variant_arg $ perm_arg $ stack_policy_arg $ fuel_arg $ linked_arg
+      $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -307,4 +575,7 @@ let () =
      Efficiency' (Clinger, PLDI 1998)"
   in
   let info = Cmd.info "schemesim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; analyze_cmd; corpus_cmd; report_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; profile_cmd; bench_cmd; analyze_cmd; corpus_cmd; report_cmd ]))

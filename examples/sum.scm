@@ -1,0 +1,6 @@
+; Iterative sum of 1..n through an accumulator: every recursive call is
+; a tail call, so the properly tail recursive machines run it in
+; constant space while the improper ones grow a continuation per step.
+(define (sum i acc)
+  (if (= i 0) acc (sum (- i 1) (+ acc i))))
+(sum 1000 0)

@@ -1,6 +1,7 @@
 module Ast = Tailspace_ast.Ast
 module Expand = Tailspace_expander.Expand
 module Reader = Tailspace_sexp.Reader
+module Telemetry = Tailspace_telemetry.Telemetry
 open Types
 
 type variant = Tail | Gc | Stack | Evlis | Free | Sfs
@@ -571,7 +572,8 @@ type result = {
 
 let space_consumption r = r.program_size + r.peak_space
 
-(* A one-line description of a configuration, for tracing. *)
+(* A one-line description of a configuration, for tracing and for the
+   telemetry ring buffer. *)
 let describe_config config =
   let control =
     match config.control with
@@ -581,28 +583,45 @@ let describe_config config =
         "E " ^ s
     | `Value v -> "V " ^ tag_of_value v
   in
-  let rec cont_depth k =
-    match (k : cont) with
-    | Halt -> 0
-    | Select { next; _ } | Assign { next; _ } | Push { next; _ }
-    | Call { next; _ } | Return { next; _ } | Return_stack { next; _ } ->
-        1 + cont_depth next
-  in
   Printf.sprintf "%-50s |rho|=%-4d k-depth=%-4d space=%d" control
     (Env.cardinal config.env) (cont_depth config.cont) (flat_space config)
 
+(* Classification of store allocations for the telemetry counters. *)
+let alloc_kind_of_value : value -> Telemetry.alloc_kind = function
+  | Bool _ | Sym _ | Char _ | Nil | Unspecified | Undefined | Primop _ ->
+      Telemetry.K_atom
+  | Int _ -> Telemetry.K_int
+  | Str _ -> Telemetry.K_string
+  | Pair _ -> Telemetry.K_pair
+  | Vector _ -> Telemetry.K_vector
+  | Closure _ -> Telemetry.K_closure
+  | Escape _ -> Telemetry.K_escape
+
 let run ?(fuel = 20_000_000) ?(measure_linked = false)
-    ?(gc_policy = `Exact) ?on_step ?trace t expr =
+    ?(gc_policy = `Exact) ?telemetry ?on_step ?trace t expr =
   Buffer.clear t.ctx.output;
   let gc_runs = ref 0 in
   let peak = ref 0 in
   let peak_linked = ref 0 in
+  (* The step the machine is currently at, for the allocation observer
+     and the collection events. *)
+  let cur_step = ref 0 in
+  let record_gc reason store reclaimed =
+    if reclaimed > 0 then begin
+      incr gc_runs;
+      match telemetry with
+      | Some tl ->
+          Telemetry.record_gc tl ~step:!cur_step ~reason
+            ~live:(Store.cardinal store) ~freed:reclaimed
+      | None -> ()
+    end
+  in
   let measure config =
     if measure_linked then begin
       (* The linked model is not tracked incrementally, so the store
          must be garbage collected before every observation. *)
       let config, reclaimed = collect config in
-      if reclaimed > 0 then incr gc_runs;
+      record_gc Telemetry.Gc_linked config.store reclaimed;
       peak := Stdlib.max !peak (flat_space config);
       peak_linked :=
         Stdlib.max !peak_linked
@@ -626,21 +645,43 @@ let run ?(fuel = 20_000_000) ?(measure_linked = false)
       if s <= threshold then config
       else begin
         let config, reclaimed = collect config in
-        if reclaimed > 0 then incr gc_runs;
+        record_gc Telemetry.Gc_peak config.store reclaimed;
         peak := Stdlib.max !peak (flat_space config);
         config
       end
     end
   in
+  (* The legacy [on_step]/[trace] callbacks are shims over telemetry:
+     both feed from the single per-step observation point below. *)
+  let want_config =
+    Option.is_some trace
+    ||
+    match telemetry with
+    | Some tl -> Telemetry.wants_config tl
+    | None -> false
+  in
   let observe config steps =
-    (match trace with
-    | Some emit -> emit steps (describe_config config)
-    | None -> ());
-    match on_step with
-    | Some f -> f ~steps ~space:(flat_space config)
-    | None -> ()
+    (match (telemetry, on_step) with
+    | None, None -> ()
+    | _ ->
+        let space = flat_space config in
+        (match telemetry with
+        | Some tl ->
+            Telemetry.record_step tl ~step:steps ~space
+              ~cont_depth:(cont_depth config.cont)
+              ~store_cells:(Store.cardinal config.store)
+        | None -> ());
+        (match on_step with Some f -> f ~steps ~space | None -> ()));
+    if want_config then begin
+      let description = describe_config config in
+      (match telemetry with
+      | Some tl -> Telemetry.record_config tl ~step:steps description
+      | None -> ());
+      match trace with Some emit -> emit steps description | None -> ()
+    end
   in
   let rec loop config steps =
+    cur_step := steps;
     let config = measure config in
     observe config steps;
     if steps >= fuel then (Out_of_fuel, steps)
@@ -653,7 +694,7 @@ let run ?(fuel = 20_000_000) ?(measure_linked = false)
             Gc.collect ~control_locs:(value_locs v) ~env:Env.empty ~cont:Halt
               store
           in
-          if reclaimed > 0 then incr gc_runs;
+          record_gc Telemetry.Gc_final store reclaimed;
           peak := Stdlib.max !peak (value_space v + Store.space store);
           if measure_linked then
             peak_linked :=
@@ -663,8 +704,30 @@ let run ?(fuel = 20_000_000) ?(measure_linked = false)
           (Done { value = v; store; answer = Answer.to_string store v }, steps + 1)
       | Stuck_state m -> (Stuck m, steps)
   in
-  let initial = { control = `Expr expr; env = t.genv; cont = Halt; store = t.gstore } in
+  let initial_store =
+    match telemetry with
+    | None -> t.gstore
+    | Some tl ->
+        Store.with_observer t.gstore
+          (Some
+             (fun v ->
+               Telemetry.record_alloc tl ~step:!cur_step
+                 ~kind:(alloc_kind_of_value v)
+                 ~words:(1 + value_space v)))
+  in
+  let initial =
+    { control = `Expr expr; env = t.genv; cont = Halt; store = initial_store }
+  in
   let outcome, steps = loop initial 0 in
+  (match telemetry with
+  | Some tl ->
+      Telemetry.note_steps tl steps;
+      Telemetry.note_peak tl !peak;
+      if measure_linked then Telemetry.note_linked tl !peak_linked;
+      (match outcome with
+      | Stuck m -> Telemetry.record_stuck tl ~step:steps ~message:m
+      | Done _ | Out_of_fuel -> ())
+  | None -> ());
   {
     outcome;
     steps;
@@ -675,11 +738,12 @@ let run ?(fuel = 20_000_000) ?(measure_linked = false)
     output = Buffer.contents t.ctx.output;
   }
 
-let run_program ?fuel ?measure_linked ?gc_policy ?on_step ?trace t ~program
-    ~input =
-  run ?fuel ?measure_linked ?gc_policy ?on_step ?trace t
+let run_program ?fuel ?measure_linked ?gc_policy ?telemetry ?on_step ?trace t
+    ~program ~input =
+  run ?fuel ?measure_linked ?gc_policy ?telemetry ?on_step ?trace t
     (Ast.Call (program, [ input ]))
 
-let run_string ?fuel ?measure_linked ?gc_policy ?on_step ?trace t source =
-  run ?fuel ?measure_linked ?gc_policy ?on_step ?trace t
+let run_string ?fuel ?measure_linked ?gc_policy ?telemetry ?on_step ?trace t
+    source =
+  run ?fuel ?measure_linked ?gc_policy ?telemetry ?on_step ?trace t
     (Expand.program_of_string source)

@@ -94,10 +94,16 @@ val space_consumption : result -> int
 (** [|P| + peak]: Definition 23's [S_X(P, D)] for the executed
     computation. *)
 
+val alloc_kind_of_value :
+  Types.value -> Tailspace_telemetry.Telemetry.alloc_kind
+(** Telemetry classification of an allocated value (shared with the
+    alternative engines so allocation counters are comparable). *)
+
 val run :
   ?fuel:int ->
   ?measure_linked:bool ->
   ?gc_policy:[ `Exact | `Approximate ] ->
+  ?telemetry:Tailspace_telemetry.Telemetry.t ->
   ?on_step:(steps:int -> space:int -> unit) ->
   ?trace:(int -> string -> unit) ->
   t ->
@@ -110,15 +116,28 @@ val run :
     overshoot the running peak by 12.5% (plus 64 words) before
     collecting, so the reported peak may underestimate the sup by that
     much — use it for large parameter sweeps where only the growth shape
-    matters. [on_step] receives the step index and the configuration's
-    flat space after any collection (a space profile to plot); [trace]
-    receives a one-line description of every configuration. Default
-    fuel: 20 million steps. *)
+    matters.
+
+    [telemetry] observes the whole run: per-step counters and high-water
+    marks (steps, allocations by kind, max continuation depth,
+    store-size high-water, peak space), collection events with
+    live/freed counts and trigger reason, an optional event stream, a
+    bounded ring buffer of recent configurations (the trace to dump when
+    a run gets {!Stuck}), and an optional space-over-time profile. A run
+    without telemetry pays nothing beyond an [is-None] branch per step.
+
+    [on_step] and [trace] are retained as shims over the telemetry
+    observation point: [on_step] receives the step index and the
+    configuration's flat space after any collection (exactly a telemetry
+    [Step] event), and [trace] receives the same one-line configuration
+    description the telemetry ring buffer records. New code should pass
+    [telemetry] instead. Default fuel: 20 million steps. *)
 
 val run_program :
   ?fuel:int ->
   ?measure_linked:bool ->
   ?gc_policy:[ `Exact | `Approximate ] ->
+  ?telemetry:Tailspace_telemetry.Telemetry.t ->
   ?on_step:(steps:int -> space:int -> unit) ->
   ?trace:(int -> string -> unit) ->
   t ->
@@ -132,6 +151,7 @@ val run_string :
   ?fuel:int ->
   ?measure_linked:bool ->
   ?gc_policy:[ `Exact | `Approximate ] ->
+  ?telemetry:Tailspace_telemetry.Telemetry.t ->
   ?on_step:(steps:int -> space:int -> unit) ->
   ?trace:(int -> string -> unit) ->
   t ->

@@ -3,15 +3,31 @@ module Imap = Map.Make (Int)
 (* Each cell remembers the flat space of its value so removals and
    overwrites can adjust the running total without recomputation. *)
 type cell = { v : Types.value; sz : int }
-type t = { cells : cell Imap.t; space : int; next : Types.loc }
 
-let empty = { cells = Imap.empty; space = 0; next = 0 }
+type t = {
+  cells : cell Imap.t;
+  space : int;
+  count : int;
+  next : Types.loc;
+  observe : (Types.value -> unit) option;
+      (* allocation observer; survives the persistent updates so every
+         store derived from an instrumented one reports its allocations
+         (the telemetry layer attaches one per measured run) *)
+}
+
+let empty =
+  { cells = Imap.empty; space = 0; count = 0; next = 0; observe = None }
+
+let with_observer t observe = { t with observe }
 
 let alloc t v =
+  (match t.observe with Some f -> f v | None -> ());
   let sz = Types.value_space v in
   ( {
+      t with
       cells = Imap.add t.next { v; sz } t.cells;
       space = t.space + 1 + sz;
+      count = t.count + 1;
       next = t.next + 1;
     },
     t.next )
@@ -48,10 +64,15 @@ let remove_all t locs =
       match Imap.find_opt l t.cells with
       | None -> t
       | Some c ->
-          { t with cells = Imap.remove l t.cells; space = t.space - 1 - c.sz })
+          {
+            t with
+            cells = Imap.remove l t.cells;
+            space = t.space - 1 - c.sz;
+            count = t.count - 1;
+          })
     t locs
 
-let cardinal t = Imap.cardinal t.cells
+let cardinal t = t.count
 let space t = t.space
 let iter f t = Imap.iter (fun l c -> f l c.v) t.cells
 let fold f t init = Imap.fold (fun l c acc -> f l c.v acc) t.cells init

@@ -30,7 +30,17 @@ val remove_all : t -> Types.loc list -> t
 (** Used by the [I_stack] deletion rule and by the collector's sweep. *)
 
 val cardinal : t -> int
+(** O(1): the count is maintained incrementally, like the space total,
+    so telemetry can observe the store size at every step. *)
+
 val space : t -> int  (** O(1). *)
+
+val with_observer : t -> (Types.value -> unit) option -> t
+(** Attach (or remove) an allocation observer: every subsequent [alloc]
+    on this store, or on any store derived from it, calls the observer
+    with the allocated value before installing it. Used by the telemetry
+    layer to count allocations by kind; [None] (the default everywhere)
+    costs one branch per allocation. *)
 
 val iter : (Types.loc -> Types.value -> unit) -> t -> unit
 val fold : (Types.loc -> Types.value -> 'a -> 'a) -> t -> 'a -> 'a

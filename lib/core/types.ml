@@ -27,8 +27,9 @@ and cont =
       env : Env.t;
       next : cont;
       size : int;
+      depth : int;
     }
-  | Assign of { id : string; env : Env.t; next : cont; size : int }
+  | Assign of { id : string; env : Env.t; next : cont; size : int; depth : int }
   | Push of {
       pending : int;
       remaining : (int * Ast.expr) list;
@@ -36,10 +37,17 @@ and cont =
       env : Env.t;
       next : cont;
       size : int;
+      depth : int;
     }
-  | Call of { vals : value list; next : cont; size : int }
-  | Return of { env : Env.t; next : cont; size : int }
-  | Return_stack of { dels : loc list; env : Env.t; next : cont; size : int }
+  | Call of { vals : value list; next : cont; size : int; depth : int }
+  | Return of { env : Env.t; next : cont; size : int; depth : int }
+  | Return_stack of {
+      dels : loc list;
+      env : Env.t;
+      next : cont;
+      size : int;
+      depth : int;
+    }
 
 let cont_space = function
   | Halt -> 1
@@ -51,11 +59,38 @@ let cont_space = function
   | Return_stack { size; _ } ->
       size
 
+(* Frame count of a continuation, cached like [size] so per-step depth
+   observation is O(1). *)
+let cont_depth = function
+  | Halt -> 0
+  | Select { depth; _ }
+  | Assign { depth; _ }
+  | Push { depth; _ }
+  | Call { depth; _ }
+  | Return { depth; _ }
+  | Return_stack { depth; _ } ->
+      depth
+
 let select ~e1 ~e2 ~env ~next =
-  Select { e1; e2; env; next; size = 1 + Env.cardinal env + cont_space next }
+  Select
+    {
+      e1;
+      e2;
+      env;
+      next;
+      size = 1 + Env.cardinal env + cont_space next;
+      depth = 1 + cont_depth next;
+    }
 
 let assign ~id ~env ~next =
-  Assign { id; env; next; size = 1 + Env.cardinal env + cont_space next }
+  Assign
+    {
+      id;
+      env;
+      next;
+      size = 1 + Env.cardinal env + cont_space next;
+      depth = 1 + cont_depth next;
+    }
 
 (* Figure 7: 1 + m + n + |Dom rho| + space(kappa). The expression being
    evaluated ([pending]) is in the accumulator, not in the frame, so [m]
@@ -70,17 +105,36 @@ let push ~pending ~remaining ~evaluated ~env ~next =
       env;
       next;
       size = 1 + m + n + Env.cardinal env + cont_space next;
+      depth = 1 + cont_depth next;
     }
 
 let call ~vals ~next =
-  Call { vals; next; size = 1 + List.length vals + cont_space next }
+  Call
+    {
+      vals;
+      next;
+      size = 1 + List.length vals + cont_space next;
+      depth = 1 + cont_depth next;
+    }
 
 let return_gc ~env ~next =
-  Return { env; next; size = 1 + Env.cardinal env + cont_space next }
+  Return
+    {
+      env;
+      next;
+      size = 1 + Env.cardinal env + cont_space next;
+      depth = 1 + cont_depth next;
+    }
 
 let return_stack ~dels ~env ~next =
   Return_stack
-    { dels; env; next; size = 1 + Env.cardinal env + cont_space next }
+    {
+      dels;
+      env;
+      next;
+      size = 1 + Env.cardinal env + cont_space next;
+      depth = 1 + cont_depth next;
+    }
 
 let value_space = function
   | Bool _ | Sym _ | Char _ | Nil | Unspecified | Undefined | Primop _ -> 1

@@ -43,8 +43,9 @@ and cont =
       env : Env.t;
       next : cont;
       size : int;
+      depth : int;
     }
-  | Assign of { id : string; env : Env.t; next : cont; size : int }
+  | Assign of { id : string; env : Env.t; next : cont; size : int; depth : int }
   | Push of {
       pending : int;  (** original position of the expression being evaluated *)
       remaining : (int * Ast.expr) list;
@@ -52,16 +53,19 @@ and cont =
       env : Env.t;
       next : cont;
       size : int;
+      depth : int;
     }
-  | Call of { vals : value list; next : cont; size : int }
+  | Call of { vals : value list; next : cont; size : int; depth : int }
       (** operands in operator/operand order; the operator is in the
           accumulator *)
-  | Return of { env : Env.t; next : cont; size : int }  (** [I_gc] *)
+  | Return of { env : Env.t; next : cont; size : int; depth : int }
+      (** [I_gc] *)
   | Return_stack of {
       dels : loc list;  (** the nondeterministically chosen set [A] *)
       env : Env.t;
       next : cont;
       size : int;
+      depth : int;
     }  (** [I_stack] *)
 
 (** {1 Smart constructors} (compute the cached flat size) *)
@@ -85,6 +89,9 @@ val return_stack : dels:loc list -> env:Env.t -> next:cont -> cont
 
 val cont_space : cont -> int
 (** O(1): reads the cached size. *)
+
+val cont_depth : cont -> int
+(** O(1): number of frames above [Halt] (the cached depth). *)
 
 val value_space : value -> int
 (** [space(v)]: 1 for atoms, [1 + bitlength z] for integers,

@@ -135,16 +135,52 @@ let evaluate st expr env0 store0 =
   in
   ev expr env0 (fun v sigma -> (v, sigma)) store0
 
-let eval ?machine expr =
+module Telemetry = Tailspace_telemetry.Telemetry
+
+let eval ?machine ?telemetry expr =
   let machine = match machine with Some m -> m | None -> Machine.create () in
   let env0, store0 = Machine.initial machine in
+  let initial_budget = 50_000_000 in
   let st =
-    { escapes = Hashtbl.create 8; ctx = Prim.make_ctx (); budget = 50_000_000 }
+    {
+      escapes = Hashtbl.create 8;
+      ctx = Prim.make_ctx ();
+      budget = initial_budget;
+    }
+  in
+  (* There are no machine steps here — continuation invocations spend
+     the budget — so allocation events carry the spend count as their
+     step, and the summary's step counter is the total spend. *)
+  let spent () = initial_budget - st.budget in
+  let store0 =
+    match telemetry with
+    | None -> store0
+    | Some tl ->
+        Store.with_observer store0
+          (Some
+             (fun v ->
+               Telemetry.record_alloc tl ~step:(spent ())
+                 ~kind:(Machine.alloc_kind_of_value v)
+                 ~words:(1 + T.value_space v)))
+  in
+  let finish outcome =
+    (match telemetry with
+    | Some tl -> (
+        Telemetry.note_steps tl (spent ());
+        match outcome with
+        | Error m -> Telemetry.record_stuck tl ~step:(spent ()) ~message:m
+        | Done _ -> ())
+    | None -> ());
+    outcome
   in
   match evaluate st expr env0 store0 with
-  | v, sigma -> Done (Answer.to_string sigma v)
-  | exception Deno_error m -> Error m
-  | exception Prim.Prim_error m -> Error m
+  | v, sigma ->
+      (match telemetry with
+      | Some tl -> Telemetry.note_peak tl (T.value_space v + Store.space sigma)
+      | None -> ());
+      finish (Done (Answer.to_string sigma v))
+  | exception Deno_error m -> finish (Error m)
+  | exception Prim.Prim_error m -> finish (Error m)
 
-let eval_program ?machine ~program ~input () =
-  eval ?machine (Ast.Call (program, [ input ]))
+let eval_program ?machine ?telemetry ~program ~input () =
+  eval ?machine ?telemetry (Ast.Call (program, [ input ]))

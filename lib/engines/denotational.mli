@@ -28,13 +28,21 @@
 
 type outcome = Done of string | Error of string
 
-val eval : ?machine:Tailspace_core.Machine.t -> Tailspace_ast.Ast.expr -> outcome
+val eval :
+  ?machine:Tailspace_core.Machine.t ->
+  ?telemetry:Tailspace_telemetry.Telemetry.t ->
+  Tailspace_ast.Ast.expr ->
+  outcome
 (** Evaluate under the standard initial environment. A [machine] may be
     supplied to reuse its initial environment/store (it is not stepped);
-    otherwise a fresh default one is created. *)
+    otherwise a fresh default one is created. [telemetry] counts
+    allocations by kind through the shared store observer and records
+    errors as stuck events; there are no machine steps, so the step
+    counter reports continuation invocations (the fuel spent). *)
 
 val eval_program :
   ?machine:Tailspace_core.Machine.t ->
+  ?telemetry:Tailspace_telemetry.Telemetry.t ->
   program:Tailspace_ast.Ast.expr ->
   input:Tailspace_ast.Ast.expr ->
   unit ->

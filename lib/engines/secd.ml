@@ -1,5 +1,6 @@
 module Ast = Tailspace_ast.Ast
 module Bignum = Tailspace_bignum.Bignum
+module Telemetry = Tailspace_telemetry.Telemetry
 
 (* ------------------------------------------------------------------ *)
 (* Code                                                                *)
@@ -477,24 +478,44 @@ let exec_instr st instr =
       | v -> err "attempt to call a non-procedure (%s)" (render v))
   | IReturn -> do_return st (pop st)
 
-let run ?(fuel = 20_000_000) ?(proper_tail_calls = true) expr =
+let run ?(fuel = 20_000_000) ?(proper_tail_calls = true) ?telemetry expr =
   let code = compile ~proper_tail_calls expr in
   let globals = Hashtbl.create 64 in
   List.iter (fun name -> Hashtbl.replace globals name (Prim name)) prim_names;
   let st = { s = []; e = []; c = code; d = []; globals } in
   let peak = ref 0 in
   let steps = ref 0 in
-  let measure () = peak := Stdlib.max !peak (live_words st) in
+  let measure () =
+    let words = live_words st in
+    peak := Stdlib.max !peak words;
+    match telemetry with
+    | Some tl ->
+        (* the dump plays the continuation's role; there is no store, so
+           the store-cells channel is unused *)
+        Telemetry.record_step tl ~step:!steps ~space:words
+          ~cont_depth:(List.length st.d) ~store_cells:0
+    | None -> ()
+  in
+  let finish outcome =
+    (match telemetry with
+    | Some tl ->
+        Telemetry.note_steps tl !steps;
+        Telemetry.note_peak tl !peak;
+        (match outcome with
+        | Error m -> Telemetry.record_stuck tl ~step:!steps ~message:m
+        | Done _ | Out_of_fuel -> ())
+    | None -> ());
+    { outcome; steps = !steps; peak_words = !peak }
+  in
   let rec loop () =
     measure ();
-    if !steps >= fuel then { outcome = Out_of_fuel; steps = !steps; peak_words = !peak }
+    if !steps >= fuel then finish Out_of_fuel
     else
       match st.c with
       | [] -> (
           (* implicit return at the end of a code sequence *)
           match do_return st (pop st) with
-          | Some answer ->
-              { outcome = Done (render answer); steps = !steps; peak_words = !peak }
+          | Some answer -> finish (Done (render answer))
           | None ->
               incr steps;
               loop ())
@@ -502,11 +523,10 @@ let run ?(fuel = 20_000_000) ?(proper_tail_calls = true) expr =
           st.c <- rest;
           incr steps;
           match exec_instr st instr with
-          | Some answer ->
-              { outcome = Done (render answer); steps = !steps; peak_words = !peak }
+          | Some answer -> finish (Done (render answer))
           | None -> loop ())
   in
-  try loop () with Secd_error m -> { outcome = Error m; steps = !steps; peak_words = !peak }
+  try loop () with Secd_error m -> finish (Error m)
 
-let run_program ?fuel ?proper_tail_calls ~program ~input () =
-  run ?fuel ?proper_tail_calls (Ast.Call (program, [ input ]))
+let run_program ?fuel ?proper_tail_calls ?telemetry ~program ~input () =
+  run ?fuel ?proper_tail_calls ?telemetry (Ast.Call (program, [ input ]))

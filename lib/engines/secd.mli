@@ -35,15 +35,21 @@ type result = { outcome : outcome; steps : int; peak_words : int }
 val run :
   ?fuel:int ->
   ?proper_tail_calls:bool ->
+  ?telemetry:Tailspace_telemetry.Telemetry.t ->
   Tailspace_ast.Ast.expr ->
   result
 (** Compile and run an expression. [proper_tail_calls] defaults to
-    [true]; [false] selects the classic SECD application rule. Default
-    fuel: 20 million instructions. *)
+    [true]; [false] selects the classic SECD application rule.
+    [telemetry] observes the run with the same step events as the
+    reference machines: the dump depth plays the continuation-depth
+    role, the measured live words the space role (there is no store, so
+    store-size and allocation channels stay zero). Default fuel: 20
+    million instructions. *)
 
 val run_program :
   ?fuel:int ->
   ?proper_tail_calls:bool ->
+  ?telemetry:Tailspace_telemetry.Telemetry.t ->
   program:Tailspace_ast.Ast.expr ->
   input:Tailspace_ast.Ast.expr ->
   unit ->

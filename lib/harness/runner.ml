@@ -1,6 +1,7 @@
 module Machine = Tailspace_core.Machine
 module Ast = Tailspace_ast.Ast
 module Bignum = Tailspace_bignum.Bignum
+module Telemetry = Tailspace_telemetry.Telemetry
 
 type status = Answer of string | Stuck of string | Fuel
 
@@ -10,14 +11,19 @@ type measurement = {
   linked : int option;
   steps : int;
   status : status;
+  gc_runs : int;
+  peak_space : int;
+  summary : Telemetry.summary option;
 }
 
 let input_expr n = Ast.Quote (Ast.C_int (Bignum.of_int n))
 
-let measure_with machine ?fuel ?measure_linked ?gc_policy ~program ~n () =
+let measure_with machine ?fuel ?measure_linked ?gc_policy
+    ?(collect_telemetry = false) ~program ~n () =
+  let telemetry = if collect_telemetry then Some (Telemetry.create ()) else None in
   let r =
-    Machine.run_program ?fuel ?measure_linked ?gc_policy machine ~program
-      ~input:(input_expr n)
+    Machine.run_program ?fuel ?measure_linked ?gc_policy ?telemetry machine
+      ~program ~input:(input_expr n)
   in
   let status =
     match r.Machine.outcome with
@@ -32,24 +38,30 @@ let measure_with machine ?fuel ?measure_linked ?gc_policy ~program ~n () =
       Option.map (fun l -> l + r.Machine.program_size) r.Machine.peak_linked;
     steps = r.Machine.steps;
     status;
+    gc_runs = r.Machine.gc_runs;
+    peak_space = r.Machine.peak_space;
+    summary = Option.map Telemetry.summary telemetry;
   }
 
-let run_once ?fuel ?measure_linked ?gc_policy ?perm ?stack_policy ?return_env
-    ?evlis_drop_at_creation ~variant ~program ~n () =
+let run_once ?fuel ?measure_linked ?gc_policy ?collect_telemetry ?perm
+    ?stack_policy ?return_env ?evlis_drop_at_creation ~variant ~program ~n () =
   let machine =
     Machine.create ~variant ?perm ?stack_policy ?return_env
       ?evlis_drop_at_creation ()
   in
-  measure_with machine ?fuel ?measure_linked ?gc_policy ~program ~n ()
+  measure_with machine ?fuel ?measure_linked ?gc_policy ?collect_telemetry
+    ~program ~n ()
 
-let sweep ?fuel ?measure_linked ?gc_policy ?perm ?stack_policy ?return_env
-    ?evlis_drop_at_creation ~variant ~program ~ns () =
+let sweep ?fuel ?measure_linked ?gc_policy ?collect_telemetry ?perm
+    ?stack_policy ?return_env ?evlis_drop_at_creation ~variant ~program ~ns () =
   let machine =
     Machine.create ~variant ?perm ?stack_policy ?return_env
       ?evlis_drop_at_creation ()
   in
   List.map
-    (fun n -> measure_with machine ?fuel ?measure_linked ?gc_policy ~program ~n ())
+    (fun n ->
+      measure_with machine ?fuel ?measure_linked ?gc_policy ?collect_telemetry
+        ~program ~n ())
     ns
 
 let spaces ms =

@@ -2,6 +2,7 @@
     collect Definition 23's space consumption. *)
 
 module Machine = Tailspace_core.Machine
+module Telemetry = Tailspace_telemetry.Telemetry
 
 type status = Answer of string | Stuck of string | Fuel
 
@@ -11,6 +12,10 @@ type measurement = {
   linked : int option;  (** [U_X(P, N)] when requested *)
   steps : int;
   status : status;
+  gc_runs : int;  (** collections that actually freed something *)
+  peak_space : int;  (** the peak alone, without the [|P|] term *)
+  summary : Telemetry.summary option;
+      (** full telemetry summary when [collect_telemetry] was set *)
 }
 
 val input_expr : int -> Tailspace_ast.Ast.expr
@@ -20,6 +25,7 @@ val run_once :
   ?fuel:int ->
   ?measure_linked:bool ->
   ?gc_policy:[ `Exact | `Approximate ] ->
+  ?collect_telemetry:bool ->
   ?perm:Machine.perm_policy ->
   ?stack_policy:Machine.stack_policy ->
   ?return_env:Machine.return_env ->
@@ -29,11 +35,14 @@ val run_once :
   n:int ->
   unit ->
   measurement
+(** [collect_telemetry] (default [false]) attaches a fresh telemetry
+    instance to the run and stores its summary in the measurement. *)
 
 val sweep :
   ?fuel:int ->
   ?measure_linked:bool ->
   ?gc_policy:[ `Exact | `Approximate ] ->
+  ?collect_telemetry:bool ->
   ?perm:Machine.perm_policy ->
   ?stack_policy:Machine.stack_policy ->
   ?return_env:Machine.return_env ->
@@ -43,7 +52,9 @@ val sweep :
   ns:int list ->
   unit ->
   measurement list
-(** One machine instance reused across the inputs. *)
+(** One machine instance reused across the inputs; with
+    [collect_telemetry], each input still gets its own telemetry, so
+    summaries are per-measurement. *)
 
 val spaces : measurement list -> (int * int) list
 (** [(n, space)] pairs of the successful measurements. *)

@@ -41,3 +41,38 @@ let render ~header rows =
 let section title =
   let bar = String.make (String.length title + 4) '=' in
   Printf.sprintf "\n%s\n| %s |\n%s\n" bar title bar
+
+let measurements ms =
+  let status_text (m : Runner.measurement) =
+    match m.Runner.status with
+    | Runner.Answer a ->
+        if String.length a > 24 then String.sub a 0 21 ^ "..." else a
+    | Runner.Stuck _ -> "stuck"
+    | Runner.Fuel -> "out of fuel"
+  in
+  let has_linked =
+    List.exists (fun (m : Runner.measurement) -> m.Runner.linked <> None) ms
+  in
+  let header =
+    [ "n"; "S=|P|+peak"; "peak"; "gc-runs"; "steps" ]
+    @ (if has_linked then [ "U (linked)" ] else [])
+    @ [ "answer" ]
+  in
+  let row (m : Runner.measurement) =
+    [
+      string_of_int m.Runner.n;
+      string_of_int m.Runner.space;
+      string_of_int m.Runner.peak_space;
+      string_of_int m.Runner.gc_runs;
+      string_of_int m.Runner.steps;
+    ]
+    @ (if has_linked then
+         [
+           (match m.Runner.linked with
+           | Some u -> string_of_int u
+           | None -> "-");
+         ]
+       else [])
+    @ [ status_text m ]
+  in
+  render ~header (List.map row ms)

@@ -7,3 +7,8 @@ val render : header:string list -> string list list -> string
 
 val section : string -> string
 (** A banner line for an experiment heading. *)
+
+val measurements : Runner.measurement list -> string
+(** A sweep's measurements as a table: input, space consumption, peak,
+    GC runs, steps, linked peak (when measured), and the answer — the
+    fields the sweep driver used to discard. *)
