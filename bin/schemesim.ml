@@ -7,7 +7,15 @@
      bench       sweep a program over several inputs, tabulating space
      analyze     static tail-call statistics (Figure 2) for a file
      corpus      list the shipped corpus, or run one entry
-     report      print the paper-reproduction experiment tables *)
+     report      print the paper-reproduction experiment tables
+     faults      fault-injection matrix + differential oracle (JSON)
+
+   exit codes (uniform across subcommands, documented in README):
+     0  the program ran to completion (Done)
+     1  program-level failure: stuck, aborted by the resource governor,
+        a failed sweep point, or a failed oracle check
+     2  usage error: bad flags, unreadable/unparsable source, unknown
+        corpus entry or experiment *)
 
 open Cmdliner
 module M = Tailspace_core.Machine
@@ -20,6 +28,9 @@ module Table = Tailspace_harness.Table
 module Corpus = Tailspace_corpus.Corpus
 module Tel = Tailspace_telemetry.Telemetry
 module Json = Tailspace_telemetry.Telemetry.Json
+module Res = Tailspace_resilience.Resilience
+module Oracle = Tailspace_harness.Oracle
+module Families = Tailspace_corpus.Families
 
 let read_file path =
   let ic = open_in_bin path in
@@ -38,7 +49,7 @@ let write_file path contents =
 let outcome_name = function
   | M.Done _ -> "done"
   | M.Stuck _ -> "stuck"
-  | M.Out_of_fuel -> "out-of-fuel"
+  | M.Aborted _ -> "aborted"
 
 let stuck_trace_json tl =
   Json.List
@@ -63,15 +74,26 @@ let result_json ~program_name ~variant (result : M.result) tl =
     | _ -> Json.Null
   in
   let error =
-    match result.M.outcome with M.Stuck m -> Json.Str m | _ -> Json.Null
+    match result.M.outcome with
+    | M.Stuck m -> Json.Str m
+    | M.Aborted { reason; _ } -> Json.Str (Res.abort_reason_message reason)
+    | M.Done _ -> Json.Null
+  in
+  let abort =
+    match result.M.outcome with
+    | M.Aborted { reason; _ } -> Res.abort_reason_to_json reason
+    | _ -> Json.Null
   in
   Json.Obj
     ([
        ("program", Json.Str program_name);
        ("variant", Json.Str (M.variant_name variant));
        ("outcome", Json.Str (outcome_name result.M.outcome));
+       ("exit_code",
+        Json.Int (match result.M.outcome with M.Done _ -> 0 | _ -> 1));
        ("answer", answer);
        ("error", error);
+       ("abort", abort);
        ("program_size", Json.Int result.M.program_size);
        ("space_consumption", Json.Int (M.space_consumption result));
      ]
@@ -157,6 +179,28 @@ let fuel_arg =
   let doc = "Maximum number of machine steps." in
   Arg.(value & opt int 20_000_000 & info [ "fuel" ] ~docv:"STEPS" ~doc)
 
+let timeout_arg =
+  let doc =
+    "Wall-clock deadline in seconds; exceeding it aborts the run with a \
+     structured 'deadline' outcome."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let space_budget_arg =
+  let doc =
+    "Maximum live flat space in words (Definition 21); the machine collects \
+     before judging, so only genuinely live data counts."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "space-budget" ] ~docv:"WORDS" ~doc)
+
+let output_cap_arg =
+  let doc = "Maximum bytes the program may write with display/write." in
+  Arg.(value & opt (some int) None & info [ "output-cap" ] ~docv:"BYTES" ~doc)
+
+let make_budget ?timeout_s ?space_words ?output_bytes () =
+  Res.Budget.make ?timeout_s ?space_words ?output_bytes ()
+
 let linked_arg =
   let doc = "Also measure the linked-environment space model (Figure 8)." in
   Arg.(value & flag & info [ "linked" ] ~doc)
@@ -204,10 +248,10 @@ let with_program file expr k =
       match Expand.program_of_string source with
       | exception Reader.Parse_error e ->
           Format.eprintf "schemesim: %a@." Reader.pp_error e;
-          exit 1
+          exit 2
       | exception Expand.Expand_error e ->
           Format.eprintf "schemesim: %a@." Expand.pp_error e;
-          exit 1
+          exit 2
       | program -> k name program)
 
 (* ------------------------------------------------------------------ *)
@@ -228,9 +272,13 @@ let run_cmd =
     in
     Arg.(value & opt int 16 & info [ "ring" ] ~docv:"K" ~doc)
   in
-  let run file expr input variant perm stack_policy fuel linked trace_steps
-      profile json ring =
+  let run file expr input variant perm stack_policy fuel timeout space_budget
+      output_cap linked trace_steps profile json ring =
     with_program file expr @@ fun program_name program ->
+    let budget =
+      make_budget ?timeout_s:timeout ?space_words:space_budget
+        ?output_bytes:output_cap ()
+    in
     let t = M.create ~variant ~perm ~stack_policy () in
     let telemetry = Tel.create ~ring () in
     let trace =
@@ -253,11 +301,11 @@ let run_cmd =
         (fun () ->
           match input with
           | Some n ->
-              M.run_program ~fuel ~measure_linked:linked ~telemetry ?on_step
-                ?trace t ~program ~input:(R.input_expr n)
+              M.run_program ~fuel ~budget ~measure_linked:linked ~telemetry
+                ?on_step ?trace t ~program ~input:(R.input_expr n)
           | None ->
-              M.run ~fuel ~measure_linked:linked ~telemetry ?on_step ?trace t
-                program)
+              M.run ~fuel ~budget ~measure_linked:linked ~telemetry ?on_step
+                ?trace t program)
     in
     if json then
       print_endline
@@ -269,7 +317,8 @@ let run_cmd =
       | M.Stuck m ->
           Format.printf "stuck: %s@." m;
           print_stuck_trace telemetry
-      | M.Out_of_fuel -> Format.printf "out of fuel@.");
+      | M.Aborted { reason; _ } ->
+          Format.printf "aborted: %s@." (Res.abort_reason_message reason));
       Format.printf
         "; variant=%s steps=%d |P|=%d peak=%d S=|P|+peak=%d gc-runs=%d@."
         (M.variant_name variant) result.M.steps result.M.program_size
@@ -286,8 +335,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ file_pos_arg $ expr_arg $ input_arg $ variant_arg $ perm_arg
-      $ stack_policy_arg $ fuel_arg $ linked_arg $ trace_arg $ profile_arg
-      $ json_arg $ ring_arg)
+      $ stack_policy_arg $ fuel_arg $ timeout_arg $ space_budget_arg
+      $ output_cap_arg $ linked_arg $ trace_arg $ profile_arg $ json_arg
+      $ ring_arg)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -314,9 +364,13 @@ let profile_cmd =
     in
     Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
   in
-  let profile file expr input variant perm stack_policy fuel linked csv stride
-      events =
+  let profile file expr input variant perm stack_policy fuel timeout
+      space_budget output_cap linked csv stride events =
     with_program file expr @@ fun program_name program ->
+    let budget =
+      make_budget ?timeout_s:timeout ?space_words:space_budget
+        ?output_bytes:output_cap ()
+    in
     let t = M.create ~variant ~perm ~stack_policy () in
     let prof = Tel.Profile.create ~stride () in
     let events_channel = Option.map open_out events in
@@ -335,9 +389,10 @@ let profile_cmd =
         (fun () ->
           match input with
           | Some n ->
-              M.run_program ~fuel ~measure_linked:linked ~telemetry t ~program
-                ~input:(R.input_expr n)
-          | None -> M.run ~fuel ~measure_linked:linked ~telemetry t program)
+              M.run_program ~fuel ~budget ~measure_linked:linked ~telemetry t
+                ~program ~input:(R.input_expr n)
+          | None ->
+              M.run ~fuel ~budget ~measure_linked:linked ~telemetry t program)
     in
     let csv_path =
       match csv with
@@ -367,8 +422,8 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const profile $ file_pos_arg $ expr_arg $ input_arg $ variant_arg
-      $ perm_arg $ stack_policy_arg $ fuel_arg $ linked_arg $ csv_arg
-      $ stride_arg $ events_arg)
+      $ perm_arg $ stack_policy_arg $ fuel_arg $ timeout_arg $ space_budget_arg
+      $ output_cap_arg $ linked_arg $ csv_arg $ stride_arg $ events_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
@@ -385,6 +440,20 @@ let bench_cmd =
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let keep_going_arg =
+    let doc =
+      "Crash-proof sweep: retry starved points with escalating fuel, keep \
+       going past failed points, and report the partial table with per-point \
+       abort reasons and notes."
+    in
+    Arg.(value & flag & info [ "keep-going" ] ~doc)
+  in
+  let status_json (s : R.status) =
+    match s with
+    | R.Answer _ -> Json.Str "done"
+    | R.Stuck _ -> Json.Str "stuck"
+    | R.Aborted r -> Json.Str ("aborted:" ^ Res.abort_reason_name r)
+  in
   let measurement_json name variant (m : R.measurement) =
     Json.Obj
       ([
@@ -394,12 +463,11 @@ let bench_cmd =
          ("space_consumption", Json.Int m.R.space);
          ( "linked_space_consumption",
            match m.R.linked with Some u -> Json.Int u | None -> Json.Null );
-         ( "status",
-           Json.Str
-             (match m.R.status with
-             | R.Answer _ -> "done"
-             | R.Stuck _ -> "stuck"
-             | R.Fuel -> "out-of-fuel") );
+         ("status", status_json m.R.status);
+         ( "abort",
+           match m.R.status with
+           | R.Aborted r -> Res.abort_reason_to_json r
+           | _ -> Json.Null );
          ( "answer",
            match m.R.status with
            | R.Answer a -> Json.Str a
@@ -411,7 +479,8 @@ let bench_cmd =
           match Tel.summary_to_json s with Json.Obj fs -> fs | _ -> [])
       | None -> [])
   in
-  let bench file expr name_opt ns variant perm stack_policy fuel linked json =
+  let bench file expr name_opt ns variant perm stack_policy fuel timeout
+      space_budget output_cap linked json keep_going =
     let name, program =
       match name_opt with
       | Some entry_name -> (
@@ -429,24 +498,76 @@ let bench_cmd =
               match Expand.program_of_string source with
               | exception Reader.Parse_error e ->
                   Format.eprintf "schemesim: %a@." Reader.pp_error e;
-                  exit 1
+                  exit 2
               | exception Expand.Expand_error e ->
                   Format.eprintf "schemesim: %a@." Expand.pp_error e;
-                  exit 1
+                  exit 2
               | program -> (name, program)))
     in
-    let ms =
-      R.sweep ~fuel ~measure_linked:linked ~collect_telemetry:true ~perm
-        ~stack_policy ~variant ~program ~ns ()
+    let budget =
+      make_budget ?timeout_s:timeout ?space_words:space_budget
+        ?output_bytes:output_cap ()
     in
-    if json then
-      print_endline
-        (Json.to_string
-           (Json.List (List.map (measurement_json name variant) ms)))
-    else begin
-      Format.printf "%s(n) under %s:@." name (M.variant_name variant);
-      print_string (Table.measurements ms)
-    end
+    let failed =
+      if keep_going then begin
+        let s =
+          R.sweep_supervised
+            ~budget:{ budget with Res.Budget.fuel = Some fuel }
+            ~measure_linked:linked ~collect_telemetry:true ~perm ~stack_policy
+            ~variant ~program ~ns ()
+        in
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("program", Json.Str name);
+                    ("variant", Json.Str (M.variant_name variant));
+                    ("answered", Json.Int s.R.answered);
+                    ("degraded", Json.Int s.R.degraded);
+                    ("status",
+                     Json.Str (if s.R.degraded = 0 then "done" else "degraded"));
+                    ( "points",
+                      Json.List
+                        (List.map
+                           (fun (p : R.supervised_point) ->
+                             Json.Obj
+                               [
+                                 ( "measurement",
+                                   measurement_json name variant
+                                     p.R.measurement );
+                                 ("attempts", Json.Int p.R.attempts);
+                                 ( "note",
+                                   match p.R.note with
+                                   | Some n -> Json.Str n
+                                   | None -> Json.Null );
+                               ])
+                           s.R.points) );
+                  ]))
+        else begin
+          Format.printf "%s(n) under %s (supervised):@." name
+            (M.variant_name variant);
+          print_string (Table.supervised s)
+        end;
+        s.R.degraded > 0
+      end
+      else begin
+        let ms =
+          R.sweep ~fuel ~budget ~measure_linked:linked ~collect_telemetry:true
+            ~perm ~stack_policy ~variant ~program ~ns ()
+        in
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.List (List.map (measurement_json name variant) ms)))
+        else begin
+          Format.printf "%s(n) under %s:@." name (M.variant_name variant);
+          print_string (Table.measurements ms)
+        end;
+        not (R.all_answered ms)
+      end
+    in
+    if failed then exit 1
   in
   let corpus_name_arg =
     let doc = "Sweep a shipped corpus entry instead of a file." in
@@ -459,8 +580,9 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const bench $ file_pos_arg $ expr_arg $ corpus_name_arg $ ns_arg
-      $ variant_arg $ perm_arg $ stack_policy_arg $ fuel_arg $ linked_arg
-      $ json_arg)
+      $ variant_arg $ perm_arg $ stack_policy_arg $ fuel_arg $ timeout_arg
+      $ space_budget_arg $ output_cap_arg $ linked_arg $ json_arg
+      $ keep_going_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -474,10 +596,10 @@ let analyze_cmd =
     match TC.analyze_source (read_file file) with
     | exception Reader.Parse_error e ->
         Format.eprintf "schemesim: %a@." Reader.pp_error e;
-        exit 1
+        exit 2
     | exception Expand.Expand_error e ->
         Format.eprintf "schemesim: %a@." Expand.pp_error e;
-        exit 1
+        exit 2
     | c ->
         Format.printf "calls:           %d@." c.TC.calls;
         Format.printf "tail calls:      %d (%.1f%%)@." c.TC.tail_calls
@@ -527,9 +649,11 @@ let corpus_cmd =
             (match m.R.status with
             | R.Answer a -> Format.printf "%s@." a
             | R.Stuck msg -> Format.printf "stuck: %s@." msg
-            | R.Fuel -> Format.printf "out of fuel@.");
+            | R.Aborted r ->
+                Format.printf "aborted: %s@." (Res.abort_reason_message r));
             Format.printf "; %s(%d) under %s: S=%d steps=%d@." name n
-              (M.variant_name variant) m.R.space m.R.steps)
+              (M.variant_name variant) m.R.space m.R.steps;
+            match m.R.status with R.Answer _ -> () | _ -> exit 1)
   in
   let doc = "List or run the shipped Scheme corpus." in
   Cmd.v (Cmd.info "corpus" ~doc) Term.(const corpus $ name_arg $ n_arg $ variant_arg)
@@ -569,6 +693,117 @@ let report_cmd =
   let doc = "Print the paper-reproduction tables (see DESIGN.md)." in
   Cmd.v (Cmd.info "report" ~doc) Term.(const report $ which_arg)
 
+(* ------------------------------------------------------------------ *)
+(* faults                                                              *)
+
+let faults_cmd =
+  let json_arg =
+    let doc = "Print the matrix and oracle report as one JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let n_arg =
+    let doc = "Input N for the separating programs." in
+    Arg.(value & opt int 12 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let fuel_arg =
+    let doc = "Fuel bound for each matrix run." in
+    Arg.(value & opt int 2_000_000 & info [ "fuel" ] ~docv:"STEPS" ~doc)
+  in
+  let matrix_plans =
+    [
+      Res.Fault.none;
+      Res.Fault.make ~label:"gc-every-1" ~gc_every:1 ();
+      Res.Fault.make ~label:"gc-seed-7" ~gc_seed:7 ();
+      Res.Fault.make ~label:"fail-alloc-100" ~fail_alloc:100 ();
+      Res.Fault.make ~label:"fuel-drop-500+50" ~fuel_drop:(500, 50) ();
+    ]
+  in
+  let faults json n fuel =
+    (* every (separator, variant, plan) cell must end in a structured
+       outcome — the run may answer, get stuck, or abort, but it must
+       not escape as an exception or hang past the fuel bound *)
+    let matrix =
+      List.concat_map
+        (fun (family, source) ->
+          let program = Expand.program_of_string source in
+          List.concat_map
+            (fun variant ->
+              List.map
+                (fun plan ->
+                  let cell =
+                    match
+                      R.run_once ~fuel ~fault:plan ~variant ~program ~n ()
+                    with
+                    | m ->
+                        let status =
+                          match m.R.status with
+                          | R.Answer a -> "answer:" ^ a
+                          | R.Stuck s -> "stuck:" ^ s
+                          | R.Aborted r ->
+                              "aborted:" ^ Res.abort_reason_name r
+                        in
+                        (status, m.R.steps, m.R.peak_space, true)
+                    | exception e ->
+                        ("escaped:" ^ Printexc.to_string e, 0, 0, false)
+                  in
+                  (family, variant, plan, cell))
+                matrix_plans)
+            M.all_variants)
+        Families.separators
+    in
+    let matrix_ok =
+      List.for_all (fun (_, _, _, (_, _, _, structured)) -> structured) matrix
+    in
+    let oracle = Oracle.run ~fuel () in
+    let ok = matrix_ok && oracle.Oracle.ok in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("ok", Json.Bool ok);
+                ("matrix_ok", Json.Bool matrix_ok);
+                ( "matrix",
+                  Json.List
+                    (List.map
+                       (fun (family, variant, plan, (status, steps, peak, _)) ->
+                         Json.Obj
+                           [
+                             ("family", Json.Str family);
+                             ("variant", Json.Str (M.variant_name variant));
+                             ("plan", Json.Str (Res.Fault.label plan));
+                             ("status", Json.Str status);
+                             ("steps", Json.Int steps);
+                             ("peak", Json.Int peak);
+                           ])
+                       matrix) );
+                ("oracle", Oracle.to_json oracle);
+              ]))
+    else begin
+      Format.printf
+        "fault matrix: %d cells (%d families x %d variants x %d plans), %s@."
+        (List.length matrix)
+        (List.length Families.separators)
+        (List.length M.all_variants)
+        (List.length matrix_plans)
+        (if matrix_ok then "all structured" else "ESCAPED EXCEPTIONS");
+      List.iter
+        (fun (family, variant, plan, (status, _, _, structured)) ->
+          if not structured then
+            Format.printf "  ESCAPE %s/%s/%s: %s@." family
+              (M.variant_name variant) (Res.Fault.label plan) status)
+        matrix;
+      print_string (Oracle.render oracle)
+    end;
+    if not ok then exit 1
+  in
+  let doc =
+    "Run the fault-injection matrix (Theorem 25's separating programs under \
+     adversarial fault plans on all six variants) and the differential \
+     oracle, reporting structured outcomes."
+  in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ json_arg $ n_arg $ fuel_arg)
+
 let () =
   let doc =
     "reference implementations for 'Proper Tail Recursion and Space \
@@ -578,4 +813,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; profile_cmd; bench_cmd; analyze_cmd; corpus_cmd; report_cmd ]))
+          [
+            run_cmd;
+            profile_cmd;
+            bench_cmd;
+            analyze_cmd;
+            corpus_cmd;
+            report_cmd;
+            faults_cmd;
+          ]))

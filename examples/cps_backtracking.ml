@@ -54,7 +54,9 @@ let () =
         Printf.printf "  %-5s n=%-2d (%7d steps) -> %-10s S=%d words\n"
           (Machine.variant_name variant) n m.Runner.steps a m.Runner.space
     | Runner.Stuck msg -> Printf.printf "  stuck: %s\n" msg
-    | Runner.Fuel -> print_endline "  out of fuel"
+    | Runner.Aborted r ->
+        Printf.printf "  aborted: %s\n"
+          (Tailspace_resilience.Resilience.abort_reason_message r)
   in
   print_endline "exhaustive CPS subset-sum search over {1..n}, impossible target:";
   print_endline "";

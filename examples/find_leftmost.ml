@@ -18,7 +18,8 @@ let traversal_overhead variant spine_traverse spine_build n =
     match m.Runner.status with
     | Runner.Answer _ -> m.Runner.space
     | Runner.Stuck msg -> failwith ("stuck: " ^ msg)
-    | Runner.Fuel -> failwith "fuel"
+    | Runner.Aborted r ->
+        failwith (Tailspace_resilience.Resilience.abort_reason_message r)
   in
   measure spine_traverse - measure spine_build
 

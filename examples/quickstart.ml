@@ -24,7 +24,9 @@ let () =
   (match result.Machine.outcome with
   | Machine.Done { answer; _ } -> Printf.printf "answer: %s\n" answer
   | Machine.Stuck reason -> Printf.printf "stuck: %s\n" reason
-  | Machine.Out_of_fuel -> print_endline "ran out of fuel");
+  | Machine.Aborted { reason; _ } ->
+      Printf.printf "aborted: %s\n"
+        (Tailspace_resilience.Resilience.abort_reason_message reason));
 
   Printf.printf "steps:  %d\n" result.Machine.steps;
   Printf.printf "|P|:    %d AST nodes\n" result.Machine.program_size;

@@ -35,7 +35,7 @@ let () =
                    match m.Runner.status with
                    | Runner.Answer _ -> string_of_int m.Runner.space
                    | Runner.Stuck _ -> "stuck"
-                   | Runner.Fuel -> "fuel")
+                   | Runner.Aborted _ -> "aborted")
                  ms)
           Machine.all_variants
       in

@@ -2,6 +2,7 @@ module Ast = Tailspace_ast.Ast
 module Expand = Tailspace_expander.Expand
 module Reader = Tailspace_sexp.Reader
 module Telemetry = Tailspace_telemetry.Telemetry
+module Resilience = Tailspace_resilience.Resilience
 open Types
 
 type variant = Tail | Gc | Stack | Evlis | Free | Sfs
@@ -558,7 +559,11 @@ let create ?(variant = Tail) ?(perm = Left_to_right)
 type outcome =
   | Done of { value : Types.value; store : Store.t; answer : string }
   | Stuck of string
-  | Out_of_fuel
+  | Aborted of {
+      reason : Resilience.abort_reason;
+      steps : int;
+      peak_space : int;
+    }
 
 type result = {
   outcome : outcome;
@@ -597,9 +602,13 @@ let alloc_kind_of_value : value -> Telemetry.alloc_kind = function
   | Closure _ -> Telemetry.K_closure
   | Escape _ -> Telemetry.K_escape
 
-let run ?(fuel = 20_000_000) ?(measure_linked = false)
+let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
     ?(gc_policy = `Exact) ?telemetry ?on_step ?trace t expr =
   Buffer.clear t.ctx.output;
+  let budget = Option.value budget ~default:Resilience.Budget.unlimited in
+  let guard = Resilience.Guard.start ~default_fuel:fuel budget in
+  let fault = Option.value fault ~default:Resilience.Fault.none in
+  let faults = Resilience.Fault.start fault in
   let gc_runs = ref 0 in
   let peak = ref 0 in
   let peak_linked = ref 0 in
@@ -680,13 +689,55 @@ let run ?(fuel = 20_000_000) ?(measure_linked = false)
       match trace with Some emit -> emit steps description | None -> ()
     end
   in
+  let aborted reason steps =
+    (Aborted { reason; steps; peak_space = !peak }, steps)
+  in
   let rec loop config steps =
     cur_step := steps;
+    (match Resilience.Fault.fuel_drop faults ~step:steps with
+    | Some remaining -> Resilience.Guard.cap_fuel guard (steps + remaining)
+    | None -> ());
+    (* A forced collection models an adversarial GC schedule: under the
+       [`Exact] policy it must not change the measured peak (the peak is
+       the sup of live space, which collections only reveal), which is
+       exactly what the differential oracle checks. *)
+    let config =
+      if Resilience.Fault.force_gc faults ~step:steps then begin
+        let config, reclaimed = collect config in
+        record_gc Telemetry.Gc_forced config.store reclaimed;
+        config
+      end
+      else config
+    in
     let config = measure config in
     observe config steps;
-    if steps >= fuel then (Out_of_fuel, steps)
-    else
+    let config, space_abort =
+      match Resilience.Guard.space_budget guard with
+      | Some b when flat_space config > b ->
+          (* Over budget with garbage included: collect, then judge the
+             live figure — the budget bounds the space the program needs,
+             not the collector's laziness. *)
+          let config, reclaimed = collect config in
+          record_gc Telemetry.Gc_budget config.store reclaimed;
+          let live = flat_space config in
+          peak := Stdlib.max !peak live;
+          if live > b then
+            (config, Some (Resilience.Space_exceeded { budget = b; live }))
+          else (config, None)
+      | _ -> (config, None)
+    in
+    match space_abort with
+    | Some reason -> aborted reason steps
+    | None ->
+    match
+      Resilience.Guard.check guard ~steps
+        ~output_bytes:(Buffer.length t.ctx.output)
+    with
+    | Some reason -> aborted reason steps
+    | None ->
       match step t config with
+      | exception Resilience.Fault.Injected m ->
+          aborted (Resilience.Injected_fault m) steps
       | Next c -> loop c (steps + 1)
       | Final (v, store) ->
           (* The final configuration (v, sigma): collect, then measure. *)
@@ -705,15 +756,20 @@ let run ?(fuel = 20_000_000) ?(measure_linked = false)
       | Stuck_state m -> (Stuck m, steps)
   in
   let initial_store =
-    match telemetry with
-    | None -> t.gstore
-    | Some tl ->
-        Store.with_observer t.gstore
-          (Some
-             (fun v ->
-               Telemetry.record_alloc tl ~step:!cur_step
-                 ~kind:(alloc_kind_of_value v)
-                 ~words:(1 + value_space v)))
+    let store =
+      match telemetry with
+      | None -> t.gstore
+      | Some tl ->
+          Store.with_observer t.gstore
+            (Some
+               (fun v ->
+                 Telemetry.record_alloc tl ~step:!cur_step
+                   ~kind:(alloc_kind_of_value v)
+                   ~words:(1 + value_space v)))
+    in
+    if Resilience.Fault.observes_alloc fault then
+      Store.add_observer store (fun _ -> Resilience.Fault.on_alloc faults)
+    else store
   in
   let initial =
     { control = `Expr expr; env = t.genv; cont = Halt; store = initial_store }
@@ -726,7 +782,7 @@ let run ?(fuel = 20_000_000) ?(measure_linked = false)
       if measure_linked then Telemetry.note_linked tl !peak_linked;
       (match outcome with
       | Stuck m -> Telemetry.record_stuck tl ~step:steps ~message:m
-      | Done _ | Out_of_fuel -> ())
+      | Done _ | Aborted _ -> ())
   | None -> ());
   {
     outcome;
@@ -738,12 +794,14 @@ let run ?(fuel = 20_000_000) ?(measure_linked = false)
     output = Buffer.contents t.ctx.output;
   }
 
-let run_program ?fuel ?measure_linked ?gc_policy ?telemetry ?on_step ?trace t
-    ~program ~input =
-  run ?fuel ?measure_linked ?gc_policy ?telemetry ?on_step ?trace t
+let run_program ?fuel ?budget ?fault ?measure_linked ?gc_policy ?telemetry
+    ?on_step ?trace t ~program ~input =
+  run ?fuel ?budget ?fault ?measure_linked ?gc_policy ?telemetry ?on_step
+    ?trace t
     (Ast.Call (program, [ input ]))
 
-let run_string ?fuel ?measure_linked ?gc_policy ?telemetry ?on_step ?trace t
-    source =
-  run ?fuel ?measure_linked ?gc_policy ?telemetry ?on_step ?trace t
+let run_string ?fuel ?budget ?fault ?measure_linked ?gc_policy ?telemetry
+    ?on_step ?trace t source =
+  run ?fuel ?budget ?fault ?measure_linked ?gc_policy ?telemetry ?on_step
+    ?trace t
     (Expand.program_of_string source)

@@ -75,7 +75,15 @@ type outcome =
   | Stuck of string
       (** no rule applies: program error, or an [I_stack] dangling
           pointer *)
-  | Out_of_fuel
+  | Aborted of {
+      reason : Tailspace_resilience.Resilience.abort_reason;
+      steps : int;
+      peak_space : int;
+    }
+      (** the resource governor stopped the run: fuel, space budget,
+          deadline, output cap, or an injected fault. The old
+          [Out_of_fuel] outcome is now
+          [Aborted { reason = Out_of_fuel _; _ }]. *)
 
 type result = {
   outcome : outcome;
@@ -101,6 +109,8 @@ val alloc_kind_of_value :
 
 val run :
   ?fuel:int ->
+  ?budget:Tailspace_resilience.Resilience.Budget.t ->
+  ?fault:Tailspace_resilience.Resilience.Fault.plan ->
   ?measure_linked:bool ->
   ?gc_policy:[ `Exact | `Approximate ] ->
   ?telemetry:Tailspace_telemetry.Telemetry.t ->
@@ -110,6 +120,19 @@ val run :
   Tailspace_ast.Ast.expr ->
   result
 (** Evaluate an expression from the initial configuration.
+
+    [budget] is the resource governor: any exceeded limit ends the run
+    with [Aborted] — never an exception, never an unbounded loop. Its
+    fuel field overrides the [fuel] argument; the space budget bounds
+    the configuration's live flat space (the machine collects before
+    judging, so the collector's laziness is not charged against the
+    program); the deadline is wall-clock from run start; the output cap
+    bounds [display]/[write] bytes.
+
+    [fault] is a deterministic fault-injection plan: collections forced
+    at chosen steps (recorded with reason [Gc_forced]; under the
+    [`Exact] policy they cannot change the measured peak), an allocation
+    that fails ([Aborted (Injected_fault _)]), and a mid-run fuel drop.
     [measure_linked] additionally computes the linked-model peak, which
     forces a collection at every step (slower). [`Exact] (default)
     reports the true [sup space(C_i)]; [`Approximate] lets tracked space
@@ -135,6 +158,8 @@ val run :
 
 val run_program :
   ?fuel:int ->
+  ?budget:Tailspace_resilience.Resilience.Budget.t ->
+  ?fault:Tailspace_resilience.Resilience.Fault.plan ->
   ?measure_linked:bool ->
   ?gc_policy:[ `Exact | `Approximate ] ->
   ?telemetry:Tailspace_telemetry.Telemetry.t ->
@@ -149,6 +174,8 @@ val run_program :
 
 val run_string :
   ?fuel:int ->
+  ?budget:Tailspace_resilience.Resilience.Budget.t ->
+  ?fault:Tailspace_resilience.Resilience.Fault.plan ->
   ?measure_linked:bool ->
   ?gc_policy:[ `Exact | `Approximate ] ->
   ?telemetry:Tailspace_telemetry.Telemetry.t ->

@@ -20,6 +20,19 @@ let empty =
 
 let with_observer t observe = { t with observe }
 
+let add_observer t f =
+  match t.observe with
+  | None -> { t with observe = Some f }
+  | Some g ->
+      {
+        t with
+        observe =
+          Some
+            (fun v ->
+              g v;
+              f v);
+      }
+
 let alloc t v =
   (match t.observe with Some f -> f v | None -> ());
   let sz = Types.value_space v in

@@ -42,6 +42,12 @@ val with_observer : t -> (Types.value -> unit) option -> t
     layer to count allocations by kind; [None] (the default everywhere)
     costs one branch per allocation. *)
 
+val add_observer : t -> (Types.value -> unit) -> t
+(** Chain another observer after any existing one — the machine stacks
+    the telemetry counter and a fault-injection allocation hook on the
+    same run. An observer may raise (the fault hook does); the
+    allocation is then abandoned before the store changes. *)
+
 val iter : (Types.loc -> Types.value -> unit) -> t -> unit
 val fold : (Types.loc -> Types.value -> 'a -> 'a) -> t -> 'a -> 'a
 

@@ -6,9 +6,15 @@ module Answer = Tailspace_core.Answer
 module Machine = Tailspace_core.Machine
 module Ast = Tailspace_ast.Ast
 
-type outcome = Done of string | Error of string
+module Resilience = Tailspace_resilience.Resilience
+
+type outcome =
+  | Done of string
+  | Error of string
+  | Aborted of Resilience.abort_reason
 
 exception Deno_error of string
+exception Deno_abort of Resilience.abort_reason
 
 let fail fmt = Format.kasprintf (fun m -> raise (Deno_error m)) fmt
 
@@ -24,13 +30,18 @@ type state = {
   escapes : (T.loc, kont) Hashtbl.t;
       (* captured continuations, keyed by the escape's tag location *)
   ctx : Prim.ctx;
-  mutable budget : int;
+  guard : Resilience.Guard.t;
+  mutable spent : int;
 }
 
 let evaluate st expr env0 store0 =
   let spend () =
-    st.budget <- st.budget - 1;
-    if st.budget <= 0 then fail "out of fuel"
+    st.spent <- st.spent + 1;
+    match
+      Resilience.Guard.check st.guard ~steps:st.spent ~output_bytes:0
+    with
+    | Some reason -> raise (Deno_abort reason)
+    | None -> ()
   in
   let rec ev e (rho : Env.t) (kappa : kont) sigma : answer =
     spend ();
@@ -137,21 +148,20 @@ let evaluate st expr env0 store0 =
 
 module Telemetry = Tailspace_telemetry.Telemetry
 
-let eval ?machine ?telemetry expr =
+let eval ?machine ?budget ?telemetry expr =
   let machine = match machine with Some m -> m | None -> Machine.create () in
   let env0, store0 = Machine.initial machine in
-  let initial_budget = 50_000_000 in
+  let guard =
+    Resilience.Guard.start ~default_fuel:50_000_000
+      (Option.value budget ~default:Resilience.Budget.unlimited)
+  in
   let st =
-    {
-      escapes = Hashtbl.create 8;
-      ctx = Prim.make_ctx ();
-      budget = initial_budget;
-    }
+    { escapes = Hashtbl.create 8; ctx = Prim.make_ctx (); guard; spent = 0 }
   in
   (* There are no machine steps here — continuation invocations spend
      the budget — so allocation events carry the spend count as their
      step, and the summary's step counter is the total spend. *)
-  let spent () = initial_budget - st.budget in
+  let spent () = st.spent in
   let store0 =
     match telemetry with
     | None -> store0
@@ -169,7 +179,7 @@ let eval ?machine ?telemetry expr =
         Telemetry.note_steps tl (spent ());
         match outcome with
         | Error m -> Telemetry.record_stuck tl ~step:(spent ()) ~message:m
-        | Done _ -> ())
+        | Done _ | Aborted _ -> ())
     | None -> ());
     outcome
   in
@@ -181,6 +191,7 @@ let eval ?machine ?telemetry expr =
       finish (Done (Answer.to_string sigma v))
   | exception Deno_error m -> finish (Error m)
   | exception Prim.Prim_error m -> finish (Error m)
+  | exception Deno_abort r -> finish (Aborted r)
 
-let eval_program ?machine ?telemetry ~program ~input () =
-  eval ?machine ?telemetry (Ast.Call (program, [ input ]))
+let eval_program ?machine ?budget ?telemetry ~program ~input () =
+  eval ?machine ?budget ?telemetry (Ast.Call (program, [ input ]))

@@ -1,6 +1,7 @@
 module Ast = Tailspace_ast.Ast
 module Bignum = Tailspace_bignum.Bignum
 module Telemetry = Tailspace_telemetry.Telemetry
+module Resilience = Tailspace_resilience.Resilience
 
 (* ------------------------------------------------------------------ *)
 (* Code                                                                *)
@@ -358,7 +359,7 @@ let render v =
 type outcome =
   | Done of string
   | Error of string
-  | Out_of_fuel
+  | Aborted of Resilience.abort_reason
 
 type result = { outcome : outcome; steps : int; peak_words : int }
 
@@ -478,7 +479,10 @@ let exec_instr st instr =
       | v -> err "attempt to call a non-procedure (%s)" (render v))
   | IReturn -> do_return st (pop st)
 
-let run ?(fuel = 20_000_000) ?(proper_tail_calls = true) ?telemetry expr =
+let run ?(fuel = 20_000_000) ?budget ?(proper_tail_calls = true) ?telemetry
+    expr =
+  let budget = Option.value budget ~default:Resilience.Budget.unlimited in
+  let guard = Resilience.Guard.start ~default_fuel:fuel budget in
   let code = compile ~proper_tail_calls expr in
   let globals = Hashtbl.create 64 in
   List.iter (fun name -> Hashtbl.replace globals name (Prim name)) prim_names;
@@ -503,14 +507,23 @@ let run ?(fuel = 20_000_000) ?(proper_tail_calls = true) ?telemetry expr =
         Telemetry.note_peak tl !peak;
         (match outcome with
         | Error m -> Telemetry.record_stuck tl ~step:!steps ~message:m
-        | Done _ | Out_of_fuel -> ())
+        | Done _ | Aborted _ -> ())
     | None -> ());
     { outcome; steps = !steps; peak_words = !peak }
   in
   let rec loop () =
     measure ();
-    if !steps >= fuel then finish Out_of_fuel
-    else
+    (* [measure] just walked the genuinely live words, so the peak is an
+       exact live figure — no collect-first step is needed here *)
+    match
+      match Resilience.Guard.space_budget guard with
+      | Some b when !peak > b ->
+          Some (Resilience.Space_exceeded { budget = b; live = !peak })
+      | _ -> Resilience.Guard.check guard ~steps:!steps ~output_bytes:0
+    with
+    | Some reason -> finish (Aborted reason)
+    | None ->
+    (
       match st.c with
       | [] -> (
           (* implicit return at the end of a code sequence *)
@@ -524,9 +537,10 @@ let run ?(fuel = 20_000_000) ?(proper_tail_calls = true) ?telemetry expr =
           incr steps;
           match exec_instr st instr with
           | Some answer -> finish (Done (render answer))
-          | None -> loop ())
+          | None -> loop ()))
   in
   try loop () with Secd_error m -> finish (Error m)
 
-let run_program ?fuel ?proper_tail_calls ?telemetry ~program ~input () =
-  run ?fuel ?proper_tail_calls ?telemetry (Ast.Call (program, [ input ]))
+let run_program ?fuel ?budget ?proper_tail_calls ?telemetry ~program ~input ()
+    =
+  run ?fuel ?budget ?proper_tail_calls ?telemetry (Ast.Call (program, [ input ]))

@@ -28,26 +28,34 @@
 type outcome =
   | Done of string  (** rendered answer, same conventions as {!Tailspace_core.Answer} *)
   | Error of string
-  | Out_of_fuel
+  | Aborted of Tailspace_resilience.Resilience.abort_reason
+      (** the resource governor stopped the run (fuel, space budget,
+          deadline). The old [Out_of_fuel] outcome is now
+          [Aborted (Out_of_fuel _)]. *)
 
 type result = { outcome : outcome; steps : int; peak_words : int }
 
 val run :
   ?fuel:int ->
+  ?budget:Tailspace_resilience.Resilience.Budget.t ->
   ?proper_tail_calls:bool ->
   ?telemetry:Tailspace_telemetry.Telemetry.t ->
   Tailspace_ast.Ast.expr ->
   result
 (** Compile and run an expression. [proper_tail_calls] defaults to
     [true]; [false] selects the classic SECD application rule.
-    [telemetry] observes the run with the same step events as the
-    reference machines: the dump depth plays the continuation-depth
-    role, the measured live words the space role (there is no store, so
-    store-size and allocation channels stay zero). Default fuel: 20
-    million instructions. *)
+    [budget] is enforced against this machine's own step counter and
+    live-word walk (the space budget bounds [peak_words]; there is no
+    output channel, so the output cap never fires). [telemetry] observes
+    the run with the same step events as the reference machines: the
+    dump depth plays the continuation-depth role, the measured live
+    words the space role (there is no store, so store-size and
+    allocation channels stay zero). Default fuel: 20 million
+    instructions. *)
 
 val run_program :
   ?fuel:int ->
+  ?budget:Tailspace_resilience.Resilience.Budget.t ->
   ?proper_tail_calls:bool ->
   ?telemetry:Tailspace_telemetry.Telemetry.t ->
   program:Tailspace_ast.Ast.expr ->

@@ -62,7 +62,7 @@ module Thm25 = struct
 
   let default_ns = [ 20; 40; 80; 160 ]
 
-  let run ?(ns = default_ns) () =
+  let run ?(ns = default_ns) ?budget () =
     List.map
       (fun (name, source) ->
         let program = expand source in
@@ -70,7 +70,8 @@ module Thm25 = struct
           List.map
             (fun variant ->
               let ms =
-                Runner.sweep ~variant ~program ~ns ~gc_policy:`Approximate ()
+                Runner.sweep ?budget ~variant ~program ~ns
+                  ~gc_policy:`Approximate ()
               in
               let spaces = Runner.spaces ms in
               { variant; spaces; fit = fit_or_none spaces })
@@ -370,7 +371,8 @@ module Cor20 = struct
                        match m.Runner.status with
                        | Runner.Answer a -> a
                        | Runner.Stuck s -> "stuck: " ^ s
-                       | Runner.Fuel -> "out of fuel"
+                       | Runner.Aborted r ->
+                           Runner.Resilience.abort_reason_name r
                      in
                      (variant, text))
                    Machine.all_variants
@@ -595,7 +597,7 @@ module Sanity = struct
         let r = Secd.run_program ~proper_tail_calls:proper ~program ~input:(Runner.input_expr n) () in
         match r.Secd.outcome with
         | Secd.Done _ -> Some r.Secd.peak_words
-        | Secd.Error _ | Secd.Out_of_fuel -> None )
+        | Secd.Error _ | Secd.Aborted _ -> None )
 
   let machine_engine variant name =
     ( name,

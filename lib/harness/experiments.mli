@@ -30,8 +30,15 @@ module Thm25 : sig
 
   type sweep = { separator : string; ns : int list; cells : cell list }
 
-  val run : ?ns:int list -> unit -> sweep list
-  (** One sweep per separating program, all six variants each. *)
+  val run :
+    ?ns:int list ->
+    ?budget:Tailspace_resilience.Resilience.Budget.t ->
+    unit ->
+    sweep list
+  (** One sweep per separating program, all six variants each. When a
+      [budget] is given every point runs under it; points the governor
+      aborts simply drop out of [spaces] (and the fit), so a partial
+      sweep still renders. *)
 
   val order_of : sweep -> Machine.variant -> Growth.order option
 

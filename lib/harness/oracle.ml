@@ -1,0 +1,185 @@
+module Machine = Tailspace_core.Machine
+module Expand = Tailspace_expander.Expand
+module Corpus = Tailspace_corpus.Corpus
+module Families = Tailspace_corpus.Families
+module Resilience = Tailspace_resilience.Resilience
+module Json = Tailspace_telemetry.Telemetry.Json
+
+(* Corollary 20 says the observable answer is independent of the
+   machine variant; the lazy-collection argument behind Definition 21
+   says the [`Exact] peak is the sup of live space and therefore
+   independent of the collection schedule. The oracle re-checks both
+   under adversarial schedules: for each (program, variant), a baseline
+   run is compared against runs whose fault plans force collections at
+   hostile times. Forced collections may only add [gc_runs]; they must
+   change neither the answer nor the [`Exact] peak. *)
+
+type check = {
+  family : string;
+  n : int;
+  variant : Machine.variant;
+  plan : string;
+  answer_agrees : bool;
+  peak_stable : bool;
+  baseline_status : string;
+  status : string;
+  baseline_peak : int;
+  peak : int;
+}
+
+type report = {
+  checks : check list;
+  cross_variant_agree : bool;
+  algol_stuck_on_demand : bool;
+  ok : bool;
+}
+
+let status_text (m : Runner.measurement) =
+  match m.Runner.status with
+  | Runner.Answer a -> "answer:" ^ a
+  | Runner.Stuck s -> "stuck:" ^ s
+  | Runner.Aborted r -> "aborted:" ^ Resilience.abort_reason_name r
+
+let adversarial_plans =
+  [
+    Resilience.Fault.make ~label:"gc-every-1" ~gc_every:1 ();
+    Resilience.Fault.make ~label:"gc-every-3" ~gc_every:3 ();
+    Resilience.Fault.make ~label:"gc-seed-1" ~gc_seed:1 ();
+    Resilience.Fault.make ~label:"gc-seed-42" ~gc_seed:42 ();
+  ]
+
+let default_programs () =
+  let expand src = Expand.program_of_string src in
+  List.map (fun (name, src) -> (name, expand src, 12)) Families.separators
+  @ List.filter_map
+      (fun name ->
+        match Corpus.find name with
+        | Some e -> (
+            match e.Corpus.checks with
+            | (n, _) :: _ -> Some (e.Corpus.name, Corpus.program e, n)
+            | [] -> None)
+        | None -> None)
+      [ "countdown"; "fib-iter"; "even-odd" ]
+
+let check_point ~fuel ~family ~program ~n variant =
+  let baseline = Runner.run_once ~fuel ~variant ~program ~n () in
+  List.map
+    (fun plan ->
+      let m = Runner.run_once ~fuel ~variant ~program ~n ~fault:plan () in
+      {
+        family;
+        n;
+        variant;
+        plan = Resilience.Fault.label plan;
+        answer_agrees =
+          (match (baseline.Runner.status, m.Runner.status) with
+          | Runner.Answer a, Runner.Answer b -> String.equal a b
+          | Runner.Stuck _, Runner.Stuck _ -> true
+          | a, b -> a = b);
+        peak_stable = baseline.Runner.peak_space = m.Runner.peak_space;
+        baseline_status = status_text baseline;
+        status = status_text m;
+        baseline_peak = baseline.Runner.peak_space;
+        peak = m.Runner.peak_space;
+      })
+    adversarial_plans
+
+(* [I_stack] under the Algol deletion policy reports a dangling pointer
+   when a closure escapes the call that allocated its free variables —
+   the stuck state §8 builds the stack/gc separation on. The oracle
+   exercises it on demand so the failure path stays reachable. *)
+let algol_dangling () =
+  let program =
+    Expand.program_of_string "(define (make n) (lambda (ignored) n)) (define (go n) ((make n) 0)) go"
+  in
+  let m =
+    Runner.run_once ~variant:Machine.Stack ~stack_policy:Machine.Algol ~program
+      ~n:5 ()
+  in
+  match m.Runner.status with Runner.Stuck _ -> true | _ -> false
+
+let cross_variant ~fuel programs =
+  List.for_all
+    (fun (_, program, n) ->
+      let answers =
+        List.map
+          (fun variant ->
+            status_text (Runner.run_once ~fuel ~variant ~program ~n ()))
+          Machine.all_variants
+      in
+      match answers with
+      | first :: rest -> List.for_all (String.equal first) rest
+      | [] -> true)
+    programs
+
+let run ?(fuel = 2_000_000) ?programs () =
+  let programs =
+    match programs with Some ps -> ps | None -> default_programs ()
+  in
+  let checks =
+    List.concat_map
+      (fun (family, program, n) ->
+        List.concat_map
+          (fun variant -> check_point ~fuel ~family ~program ~n variant)
+          Machine.all_variants)
+      programs
+  in
+  let cross_variant_agree = cross_variant ~fuel programs in
+  let algol_stuck_on_demand = algol_dangling () in
+  let ok =
+    cross_variant_agree && algol_stuck_on_demand
+    && List.for_all (fun c -> c.answer_agrees && c.peak_stable) checks
+  in
+  { checks; cross_variant_agree; algol_stuck_on_demand; ok }
+
+let failures r =
+  List.filter (fun c -> not (c.answer_agrees && c.peak_stable)) r.checks
+
+let render r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "differential oracle: %d checks, cross-variant agreement %s, algol \
+        dangling-pointer stuck state %s\n"
+       (List.length r.checks)
+       (if r.cross_variant_agree then "ok" else "FAILED")
+       (if r.algol_stuck_on_demand then "reachable" else "NOT REACHABLE"));
+  (match failures r with
+  | [] -> Buffer.add_string buf "all adversarial schedules agree with baseline\n"
+  | fs ->
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "MISMATCH %s n=%d %s plan=%s: %s vs %s, peak %d vs %d\n" c.family
+               c.n
+               (Machine.variant_name c.variant)
+               c.plan c.baseline_status c.status c.baseline_peak c.peak))
+        fs);
+  Buffer.add_string buf (if r.ok then "oracle: OK\n" else "oracle: FAILED\n");
+  Buffer.contents buf
+
+let check_to_json c =
+  Json.Obj
+    [
+      ("family", Json.Str c.family);
+      ("n", Json.Int c.n);
+      ("variant", Json.Str (Machine.variant_name c.variant));
+      ("plan", Json.Str c.plan);
+      ("answer_agrees", Json.Bool c.answer_agrees);
+      ("peak_stable", Json.Bool c.peak_stable);
+      ("baseline_status", Json.Str c.baseline_status);
+      ("status", Json.Str c.status);
+      ("baseline_peak", Json.Int c.baseline_peak);
+      ("peak", Json.Int c.peak);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("ok", Json.Bool r.ok);
+      ("cross_variant_agree", Json.Bool r.cross_variant_agree);
+      ("algol_stuck_on_demand", Json.Bool r.algol_stuck_on_demand);
+      ("checks", Json.Int (List.length r.checks));
+      ("failures", Json.List (List.map check_to_json (failures r)));
+    ]

@@ -1,0 +1,59 @@
+(** The differential fault-injection oracle.
+
+    Re-checks Corollary 20 (the observable answer is independent of the
+    machine variant) and the schedule-independence of the [`Exact] peak
+    (Definition 21's space is the sup of live space, which forced
+    collections cannot change) under adversarial GC schedules, and
+    exercises [I_stack]'s Algol dangling-pointer stuck state on
+    demand. *)
+
+module Machine = Tailspace_core.Machine
+module Resilience = Tailspace_resilience.Resilience
+module Json = Tailspace_telemetry.Telemetry.Json
+
+type check = {
+  family : string;
+  n : int;
+  variant : Machine.variant;
+  plan : string;  (** the adversarial fault plan's label *)
+  answer_agrees : bool;
+  peak_stable : bool;  (** [`Exact] peak identical to the baseline run *)
+  baseline_status : string;
+  status : string;
+  baseline_peak : int;
+  peak : int;
+}
+
+type report = {
+  checks : check list;
+  cross_variant_agree : bool;
+      (** all six variants produce the same observable status per
+          program (Corollary 20) *)
+  algol_stuck_on_demand : bool;
+      (** the [I_stack]/Algol dangling-pointer stuck state is reachable
+          when asked for *)
+  ok : bool;
+}
+
+val adversarial_plans : Resilience.Fault.plan list
+(** The hostile GC schedules each (program, variant) is re-run under:
+    collect before every step, every third step, and two seeded
+    pseudorandom schedules. *)
+
+val run :
+  ?fuel:int ->
+  ?programs:(string * Tailspace_ast.Ast.expr * int) list ->
+  unit ->
+  report
+(** Run the oracle. Default programs: the four Theorem 25 separating
+    families at n=12 plus three fast corpus entries at their first
+    checked input. [fuel] (default 2M) bounds each individual run. *)
+
+val failures : report -> check list
+
+val render : report -> string
+(** Human-readable report; ends with [oracle: OK] or [oracle: FAILED]. *)
+
+val to_json : report -> Json.t
+(** [{"ok", "cross_variant_agree", "algol_stuck_on_demand", "checks",
+    "failures"}]. *)

@@ -2,8 +2,12 @@ module Machine = Tailspace_core.Machine
 module Ast = Tailspace_ast.Ast
 module Bignum = Tailspace_bignum.Bignum
 module Telemetry = Tailspace_telemetry.Telemetry
+module Resilience = Tailspace_resilience.Resilience
 
-type status = Answer of string | Stuck of string | Fuel
+type status =
+  | Answer of string
+  | Stuck of string
+  | Aborted of Resilience.abort_reason
 
 type measurement = {
   n : int;
@@ -18,18 +22,18 @@ type measurement = {
 
 let input_expr n = Ast.Quote (Ast.C_int (Bignum.of_int n))
 
-let measure_with machine ?fuel ?measure_linked ?gc_policy
+let measure_with machine ?fuel ?budget ?fault ?measure_linked ?gc_policy
     ?(collect_telemetry = false) ~program ~n () =
   let telemetry = if collect_telemetry then Some (Telemetry.create ()) else None in
   let r =
-    Machine.run_program ?fuel ?measure_linked ?gc_policy ?telemetry machine
-      ~program ~input:(input_expr n)
+    Machine.run_program ?fuel ?budget ?fault ?measure_linked ?gc_policy
+      ?telemetry machine ~program ~input:(input_expr n)
   in
   let status =
     match r.Machine.outcome with
     | Machine.Done { answer; _ } -> Answer answer
     | Machine.Stuck m -> Stuck m
-    | Machine.Out_of_fuel -> Fuel
+    | Machine.Aborted { reason; _ } -> Aborted reason
   in
   {
     n;
@@ -43,26 +47,111 @@ let measure_with machine ?fuel ?measure_linked ?gc_policy
     summary = Option.map Telemetry.summary telemetry;
   }
 
-let run_once ?fuel ?measure_linked ?gc_policy ?collect_telemetry ?perm
-    ?stack_policy ?return_env ?evlis_drop_at_creation ~variant ~program ~n () =
+let run_once ?fuel ?budget ?fault ?measure_linked ?gc_policy ?collect_telemetry
+    ?perm ?stack_policy ?return_env ?evlis_drop_at_creation ~variant ~program ~n
+    () =
   let machine =
     Machine.create ~variant ?perm ?stack_policy ?return_env
       ?evlis_drop_at_creation ()
   in
-  measure_with machine ?fuel ?measure_linked ?gc_policy ?collect_telemetry
-    ~program ~n ()
+  measure_with machine ?fuel ?budget ?fault ?measure_linked ?gc_policy
+    ?collect_telemetry ~program ~n ()
 
-let sweep ?fuel ?measure_linked ?gc_policy ?collect_telemetry ?perm
-    ?stack_policy ?return_env ?evlis_drop_at_creation ~variant ~program ~ns () =
+let sweep ?fuel ?budget ?fault ?measure_linked ?gc_policy ?collect_telemetry
+    ?perm ?stack_policy ?return_env ?evlis_drop_at_creation ~variant ~program
+    ~ns () =
   let machine =
     Machine.create ~variant ?perm ?stack_policy ?return_env
       ?evlis_drop_at_creation ()
   in
   List.map
     (fun n ->
-      measure_with machine ?fuel ?measure_linked ?gc_policy ?collect_telemetry
-        ~program ~n ())
+      measure_with machine ?fuel ?budget ?fault ?measure_linked ?gc_policy
+        ?collect_telemetry ~program ~n ())
     ns
+
+(* {2 The crash-proof sweep supervisor} *)
+
+type supervised_point = {
+  measurement : measurement;
+  attempts : int;
+  note : string option;
+}
+
+type supervised = {
+  points : supervised_point list;
+  answered : int;
+  degraded : int;
+}
+
+let crashed_measurement n message =
+  {
+    n;
+    space = 0;
+    linked = None;
+    steps = 0;
+    status = Aborted (Resilience.Crashed message);
+    gc_runs = 0;
+    peak_space = 0;
+    summary = None;
+  }
+
+let sweep_supervised ?(budget = Resilience.Budget.unlimited) ?fault
+    ?measure_linked ?gc_policy ?collect_telemetry ?perm ?stack_policy
+    ?return_env ?evlis_drop_at_creation ?(max_attempts = 3) ?(fuel_factor = 4)
+    ?(fuel_cap = 50_000_000) ?(initial_fuel = 1_000_000) ~variant ~program ~ns
+    () =
+  let machine =
+    Machine.create ~variant ?perm ?stack_policy ?return_env
+      ?evlis_drop_at_creation ()
+  in
+  let start_fuel =
+    min fuel_cap (Option.value budget.Resilience.Budget.fuel ~default:initial_fuel)
+  in
+  let supervise n =
+    let rec attempt k fuel =
+      let budget = { budget with Resilience.Budget.fuel = Some fuel } in
+      let m =
+        match
+          measure_with machine ~budget ?fault ?measure_linked ?gc_policy
+            ?collect_telemetry ~program ~n ()
+        with
+        | m -> m
+        | exception e -> crashed_measurement n (Printexc.to_string e)
+      in
+      match m.status with
+      | Aborted (Resilience.Out_of_fuel _)
+        when k < max_attempts && fuel < fuel_cap ->
+          attempt (k + 1) (min fuel_cap (fuel * fuel_factor))
+      | Answer _ ->
+          let note =
+            if k = 1 then None
+            else Some (Printf.sprintf "succeeded on attempt %d (fuel %d)" k fuel)
+          in
+          { measurement = m; attempts = k; note }
+      | status ->
+          let what =
+            match status with
+            | Aborted r -> Resilience.abort_reason_message r
+            | Stuck msg -> "stuck: " ^ msg
+            | Answer _ -> assert false
+          in
+          let note =
+            if k = 1 then Some what
+            else Some (Printf.sprintf "gave up after %d attempts: %s" k what)
+          in
+          { measurement = m; attempts = k; note }
+    in
+    attempt 1 start_fuel
+  in
+  let points = List.map supervise ns in
+  let answered =
+    List.length
+      (List.filter
+         (fun p -> match p.measurement.status with Answer _ -> true | _ -> false)
+         points)
+  in
+  { points; answered; degraded = List.length points - answered }
 
 let spaces ms =
   List.filter_map

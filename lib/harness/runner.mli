@@ -3,8 +3,14 @@
 
 module Machine = Tailspace_core.Machine
 module Telemetry = Tailspace_telemetry.Telemetry
+module Resilience = Tailspace_resilience.Resilience
 
-type status = Answer of string | Stuck of string | Fuel
+type status =
+  | Answer of string
+  | Stuck of string
+  | Aborted of Resilience.abort_reason
+      (** the resource governor ended the run; the old [Fuel] status is
+          now [Aborted (Out_of_fuel _)] *)
 
 type measurement = {
   n : int;
@@ -23,6 +29,8 @@ val input_expr : int -> Tailspace_ast.Ast.expr
 
 val run_once :
   ?fuel:int ->
+  ?budget:Resilience.Budget.t ->
+  ?fault:Resilience.Fault.plan ->
   ?measure_linked:bool ->
   ?gc_policy:[ `Exact | `Approximate ] ->
   ?collect_telemetry:bool ->
@@ -36,10 +44,13 @@ val run_once :
   unit ->
   measurement
 (** [collect_telemetry] (default [false]) attaches a fresh telemetry
-    instance to the run and stores its summary in the measurement. *)
+    instance to the run and stores its summary in the measurement.
+    [budget] and [fault] are forwarded to {!Machine.run_program}. *)
 
 val sweep :
   ?fuel:int ->
+  ?budget:Resilience.Budget.t ->
+  ?fault:Resilience.Fault.plan ->
   ?measure_linked:bool ->
   ?gc_policy:[ `Exact | `Approximate ] ->
   ?collect_telemetry:bool ->
@@ -55,6 +66,56 @@ val sweep :
 (** One machine instance reused across the inputs; with
     [collect_telemetry], each input still gets its own telemetry, so
     summaries are per-measurement. *)
+
+(** {1 The crash-proof sweep supervisor}
+
+    A sweep over a family built to blow up space will hit its limits;
+    the supervisor turns every way a point can fail into a row of the
+    partial table instead of a dead process. *)
+
+type supervised_point = {
+  measurement : measurement;  (** the last attempt's measurement *)
+  attempts : int;
+  note : string option;
+      (** degradation note: why the point failed, or that it needed
+          retries — [None] for a clean first-attempt answer *)
+}
+
+type supervised = {
+  points : supervised_point list;  (** one per requested input, in order *)
+  answered : int;
+  degraded : int;  (** points whose final status is not [Answer] *)
+}
+
+val sweep_supervised :
+  ?budget:Resilience.Budget.t ->
+  ?fault:Resilience.Fault.plan ->
+  ?measure_linked:bool ->
+  ?gc_policy:[ `Exact | `Approximate ] ->
+  ?collect_telemetry:bool ->
+  ?perm:Machine.perm_policy ->
+  ?stack_policy:Machine.stack_policy ->
+  ?return_env:Machine.return_env ->
+  ?evlis_drop_at_creation:bool ->
+  ?max_attempts:int ->
+  ?fuel_factor:int ->
+  ?fuel_cap:int ->
+  ?initial_fuel:int ->
+  variant:Machine.variant ->
+  program:Tailspace_ast.Ast.expr ->
+  ns:int list ->
+  unit ->
+  supervised
+(** Run every input under the budget. A point that runs out of fuel is
+    retried with the fuel multiplied by [fuel_factor] (default 4), up to
+    [max_attempts] (default 3) attempts or the [fuel_cap] (default 50M
+    steps) — capped exponential backoff. Other aborts (space budget,
+    deadline, output cap, injected fault) are terminal for the point:
+    more fuel cannot help. Exceptions escaping a run are caught and
+    recorded as [Aborted (Crashed _)]. The first attempt's fuel is
+    [budget.fuel] when set, else [initial_fuel] (default 1M steps).
+    Always returns the full table: failed points carry their abort
+    reason in the measurement status and a human note. *)
 
 val spaces : measurement list -> (int * int) list
 (** [(n, space)] pairs of the successful measurements. *)

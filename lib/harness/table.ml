@@ -48,7 +48,7 @@ let measurements ms =
     | Runner.Answer a ->
         if String.length a > 24 then String.sub a 0 21 ^ "..." else a
     | Runner.Stuck _ -> "stuck"
-    | Runner.Fuel -> "out of fuel"
+    | Runner.Aborted r -> Runner.Resilience.abort_reason_name r
   in
   let has_linked =
     List.exists (fun (m : Runner.measurement) -> m.Runner.linked <> None) ms
@@ -76,3 +76,32 @@ let measurements ms =
     @ [ status_text m ]
   in
   render ~header (List.map row ms)
+
+let supervised (s : Runner.supervised) =
+  let header =
+    [ "n"; "S=|P|+peak"; "peak"; "steps"; "attempts"; "status"; "note" ]
+  in
+  let row (p : Runner.supervised_point) =
+    let m = p.Runner.measurement in
+    let status =
+      match m.Runner.status with
+      | Runner.Answer a ->
+          if String.length a > 24 then String.sub a 0 21 ^ "..." else a
+      | Runner.Stuck _ -> "stuck"
+      | Runner.Aborted r -> Runner.Resilience.abort_reason_name r
+    in
+    [
+      string_of_int m.Runner.n;
+      string_of_int m.Runner.space;
+      string_of_int m.Runner.peak_space;
+      string_of_int m.Runner.steps;
+      string_of_int p.Runner.attempts;
+      status;
+      Option.value p.Runner.note ~default:"";
+    ]
+  in
+  render ~header (List.map row s.Runner.points)
+  ^ Printf.sprintf "%d/%d answered%s\n" s.Runner.answered
+      (List.length s.Runner.points)
+      (if s.Runner.degraded = 0 then ""
+       else Printf.sprintf ", %d degraded" s.Runner.degraded)

@@ -12,3 +12,8 @@ val measurements : Runner.measurement list -> string
 (** A sweep's measurements as a table: input, space consumption, peak,
     GC runs, steps, linked peak (when measured), and the answer — the
     fields the sweep driver used to discard. *)
+
+val supervised : Runner.supervised -> string
+(** A supervised sweep as a partial table: every requested point gets a
+    row, failed ones carry their abort reason and degradation note; a
+    trailing line summarizes answered/degraded counts. *)

@@ -281,12 +281,14 @@ let alloc_kind_of_name = function
   | "escape" -> Some K_escape
   | _ -> None
 
-type gc_reason = Gc_peak | Gc_linked | Gc_final
+type gc_reason = Gc_peak | Gc_linked | Gc_final | Gc_forced | Gc_budget
 
 let gc_reason_name = function
   | Gc_peak -> "peak-exceeded"
   | Gc_linked -> "linked-measure"
   | Gc_final -> "final"
+  | Gc_forced -> "fault-injected"
+  | Gc_budget -> "space-budget"
 
 type event =
   | Step of { step : int; space : int; cont_depth : int; store_cells : int }

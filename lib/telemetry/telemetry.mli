@@ -63,6 +63,8 @@ type gc_reason =
   | Gc_peak  (** tracked space exceeded the running peak (lazy schedule) *)
   | Gc_linked  (** pre-observation collection for the linked model *)
   | Gc_final  (** the final configuration's collection *)
+  | Gc_forced  (** a fault-injection plan forced this collection *)
+  | Gc_budget  (** tracked space crossed the run's space budget *)
 
 val gc_reason_name : gc_reason -> string
 

@@ -33,7 +33,9 @@ let run_check variant (e : C.entry) (n, expected) =
         (Printf.sprintf "%s(%d) under %s" e.C.name n (M.variant_name variant))
         expected a
   | R.Stuck msg -> Alcotest.failf "%s(%d): stuck: %s" e.C.name n msg
-  | R.Fuel -> Alcotest.failf "%s(%d): out of fuel" e.C.name n
+  | R.Aborted reason ->
+      Alcotest.failf "%s(%d): aborted: %s" e.C.name n
+        (Tailspace_resilience.Resilience.abort_reason_message reason)
 
 let test_checks_tail () =
   List.iter (fun (e : C.entry) -> List.iter (run_check M.Tail e) e.C.checks) C.all
@@ -58,7 +60,7 @@ let test_every_entry_is_unary_procedure () =
           (match m.R.status with
           | R.Answer _ -> ()
           | R.Stuck msg -> Alcotest.failf "%s not runnable: %s" e.C.name msg
-          | R.Fuel -> Alcotest.failf "%s starved" e.C.name)
+          | R.Aborted _ -> Alcotest.failf "%s starved" e.C.name)
       | [] -> Alcotest.failf "%s has no checks" e.C.name)
     C.all
 
@@ -84,7 +86,7 @@ let test_separators_answer () =
                 (name ^ " " ^ M.variant_name variant)
                 (expected name) a
           | R.Stuck msg -> Alcotest.failf "%s stuck: %s" name msg
-          | R.Fuel -> Alcotest.failf "%s starved" name)
+          | R.Aborted _ -> Alcotest.failf "%s starved" name)
         M.all_variants)
     F.separators
 
@@ -101,7 +103,7 @@ let test_pk_program_generates () =
             true
             (String.length a > 0 && a.[0] = '(')
       | R.Stuck msg -> Alcotest.failf "P_%d stuck: %s" k msg
-      | R.Fuel -> Alcotest.failf "P_%d starved" k)
+      | R.Aborted _ -> Alcotest.failf "P_%d starved" k)
     [ 1; 3; 8 ]
 
 let test_pk_size_grows () =
@@ -116,7 +118,7 @@ let test_find_leftmost_family_answers () =
     match m.R.status with
     | R.Answer a -> a
     | R.Stuck msg -> "stuck: " ^ msg
-    | R.Fuel -> "fuel"
+    | R.Aborted _ -> "fuel"
   in
   Alcotest.(check string) "right traverse fails overall" "not-found"
     (run F.find_leftmost_right_traverse 10);

@@ -21,7 +21,7 @@ let secd_answer ?(proper = true) src n =
   match r.S.outcome with
   | S.Done a -> a
   | S.Error m -> "error: " ^ m
-  | S.Out_of_fuel -> "fuel"
+  | S.Aborted _ -> "fuel"
 
 let reference_answer src n =
   let t = M.create () in
@@ -29,7 +29,7 @@ let reference_answer src n =
   match (M.run_program t ~program ~input:(input n)).M.outcome with
   | M.Done { answer; _ } -> answer
   | M.Stuck m -> "error: " ^ m
-  | M.Out_of_fuel -> "fuel"
+  | M.Aborted _ -> "fuel"
 
 (* --- SECD compiler --- *)
 
@@ -175,6 +175,7 @@ let deno_answer src =
   match D.eval (E.program_of_string src) with
   | D.Done a -> a
   | D.Error m -> "error: " ^ m
+  | D.Aborted _ -> "fuel"
 
 let test_denotational_basics () =
   Alcotest.(check string) "arith" "7" (deno_answer "(+ 1 (* 2 3))");
@@ -204,7 +205,10 @@ let test_denotational_matches_corpus () =
                  Alcotest.(check string)
                    (Printf.sprintf "%s(%d)" e.Corpus.name n)
                    expected a
-             | D.Error m -> Alcotest.failf "%s: %s" e.Corpus.name m)
+             | D.Error m -> Alcotest.failf "%s: %s" e.Corpus.name m
+             | D.Aborted r ->
+                 Alcotest.failf "%s: aborted: %s" e.Corpus.name
+                   (Tailspace_resilience.Resilience.abort_reason_message r))
          | [] -> ())
 
 let gen_expr =
@@ -257,7 +261,11 @@ let prop_three_implementations_agree =
       let secd =
         match (S.run e).S.outcome with S.Done a -> a | _ -> "fail"
       in
-      let deno = match D.eval e with D.Done a -> a | D.Error _ -> "fail" in
+      let deno =
+        match D.eval e with
+        | D.Done a -> a
+        | D.Error _ | D.Aborted _ -> "fail"
+      in
       String.equal machine secd && String.equal machine deno)
 
 let () =

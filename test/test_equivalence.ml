@@ -72,7 +72,7 @@ let run_variant ?(perm = M.Left_to_right) variant e =
 let answer_of = function
   | M.Done { answer; _ } -> answer
   | M.Stuck m -> "stuck: " ^ m
-  | M.Out_of_fuel -> "fuel"
+  | M.Aborted _ -> "fuel"
 
 let prop_corollary20 =
   QCheck.Test.make ~name:"all six variants compute the same answer" ~count:150

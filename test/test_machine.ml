@@ -4,13 +4,15 @@
 module M = Tailspace_core.Machine
 module T = Tailspace_core.Types
 module E = Tailspace_expander.Expand
+module Res = Tailspace_resilience.Resilience
 
 let answer ?(variant = M.Tail) ?perm ?stack_policy ?fuel src =
   let t = M.create ~variant ?perm ?stack_policy () in
   match (M.run_string ?fuel t src).M.outcome with
   | M.Done { answer; _ } -> answer
   | M.Stuck m -> "stuck: " ^ m
-  | M.Out_of_fuel -> "out of fuel"
+  | M.Aborted { reason; _ } ->
+      "aborted: " ^ Tailspace_resilience.Resilience.abort_reason_message reason
 
 let check ?variant ?perm ?stack_policy name src expected =
   Alcotest.(check string) name expected (answer ?variant ?perm ?stack_policy src)
@@ -131,7 +133,36 @@ let test_display_vs_write () =
 let test_fuel () =
   let t = M.create () in
   let r = M.run_string ~fuel:100 t "(define (spin) (spin)) (spin)" in
-  Alcotest.(check bool) "out of fuel" true (r.M.outcome = M.Out_of_fuel)
+  (match r.M.outcome with
+  | M.Aborted { reason = Res.Out_of_fuel { limit }; steps; _ } ->
+      Alcotest.(check int) "abort carries the limit" 100 limit;
+      Alcotest.(check int) "stopped at the limit" 100 steps
+  | _ -> Alcotest.fail "expected Aborted (Out_of_fuel)");
+  Alcotest.(check int) "result steps" 100 r.M.steps
+
+(* The [`Approximate] policy only collects once tracked space overshoots
+   the running peak by 12.5% plus 64 words, so its reported peak may
+   undershoot the [`Exact] sup by at most that much — and never
+   overshoots it (collections cannot raise live space). *)
+let test_approximate_gc_bound () =
+  let src =
+    "(define (build n) (if (zero? n) '() (cons n (build (- n 1))))) (build 200)"
+  in
+  let peak policy =
+    let t = M.create () in
+    let r = M.run_string ~gc_policy:policy t src in
+    match r.M.outcome with
+    | M.Done _ -> r.M.peak_space
+    | _ -> Alcotest.fail "build run failed"
+  in
+  let exact = peak `Exact and approx = peak `Approximate in
+  Alcotest.(check bool)
+    (Printf.sprintf "approx %d never above exact %d" approx exact)
+    true (approx <= exact);
+  Alcotest.(check bool)
+    (Printf.sprintf "approx %d within 12.5%%+64 of exact %d" approx exact)
+    true
+    (approx >= exact - (exact / 8) - 64)
 
 let test_perm_policies () =
   (* order-insensitive program: same answer under every policy *)
@@ -293,6 +324,8 @@ let () =
           Alcotest.test_case "output" `Quick test_output;
           Alcotest.test_case "display vs write" `Quick test_display_vs_write;
           Alcotest.test_case "fuel" `Quick test_fuel;
+          Alcotest.test_case "approximate gc bound" `Quick
+            test_approximate_gc_bound;
           Alcotest.test_case "perm policies" `Quick test_perm_policies;
           Alcotest.test_case "stack policies" `Quick test_stack_policies;
           Alcotest.test_case "all variants run" `Quick test_variant_answers_each;

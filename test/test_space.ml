@@ -161,7 +161,9 @@ let space_of variant src =
   match r.M.outcome with
   | M.Done _ -> M.space_consumption r
   | M.Stuck m -> Alcotest.failf "stuck: %s" m
-  | M.Out_of_fuel -> Alcotest.fail "fuel"
+  | M.Aborted { reason; _ } ->
+      Alcotest.failf "aborted: %s"
+        (Tailspace_resilience.Resilience.abort_reason_message reason)
 
 let test_theorem24_chain_samples () =
   List.iter

@@ -211,7 +211,10 @@ let test_denotational_telemetry () =
   let tl = Tel.create () in
   (match Den.eval ~telemetry:tl (expand "(list 1 2 3)") with
   | Den.Done a -> Alcotest.(check string) "den answer" "(1 2 3)" a
-  | Den.Error m -> Alcotest.failf "den error: %s" m);
+  | Den.Error m -> Alcotest.failf "den error: %s" m
+  | Den.Aborted r ->
+      Alcotest.failf "den aborted: %s"
+        (Tailspace_resilience.Resilience.abort_reason_message r));
   Alcotest.(check int) "den pairs" 2 (Tel.alloc_count tl Tel.K_pair);
   Alcotest.(check int) "den ints" 3 (Tel.alloc_count tl Tel.K_int);
   if Tel.steps tl = 0 then Alcotest.fail "den spent no budget"
