@@ -155,6 +155,18 @@ let run_benches () =
             [ name; time; Printf.sprintf "%.3f" r2 ])
           rows))
 
+(* --jobs N on the command line sets the worker-domain count for the
+   experiment tables (default: cores minus one). The tables themselves
+   are byte-identical whatever the value; only the timing section below
+   is wall-clock sensitive, and it always runs serially. *)
+let jobs_from_argv () =
+  let rec scan = function
+    | "--jobs" :: v :: _ | "-j" :: v :: _ -> int_of_string_opt v
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
   print_endline
     "Proper Tail Recursion and Space Efficiency (Clinger, PLDI 1998)";
@@ -162,6 +174,8 @@ let () =
     "reproduction report: every table below regenerates a paper claim;";
   print_endline "see DESIGN.md for the experiment index and EXPERIMENTS.md";
   print_endline "for the paper-vs-measured record.";
-  print_string (X.render_all ());
+  print_string
+    (Tailspace_parallel.Pool.with_pool ?jobs:(jobs_from_argv ()) (fun pool ->
+         X.render_all ?pool ()));
   print_newline ();
   run_benches ()

@@ -31,6 +31,8 @@ module Json = Tailspace_telemetry.Telemetry.Json
 module Res = Tailspace_resilience.Resilience
 module Oracle = Tailspace_harness.Oracle
 module Families = Tailspace_corpus.Families
+module Pool = Tailspace_parallel.Pool
+module Mcache = Tailspace_parallel.Cache
 
 let read_file path =
   let ic = open_in_bin path in
@@ -212,6 +214,14 @@ let trace_arg =
 let profile_arg =
   let doc = "Write a step,space CSV profile of the run to $(docv)." in
   Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the measurement sweep (default: available cores minus \
+     one; 1 forces the serial path). Sweep points are independent, so the \
+     output is byte-identical whatever the value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 (* ------------------------------------------------------------------ *)
 (* run / profile shared plumbing                                       *)
@@ -480,15 +490,19 @@ let bench_cmd =
       | None -> [])
   in
   let bench file expr name_opt ns variant perm stack_policy fuel timeout
-      space_budget output_cap linked json keep_going =
-    let name, program =
+      space_budget output_cap linked json keep_going jobs cache_dir
+      baseline_out =
+    (* [cache_source] is the program's identity in the cache key: the
+       corpus tag, or the source text itself for files and inline
+       expressions — editing the program invalidates its entries. *)
+    let name, cache_source, program =
       match name_opt with
       | Some entry_name -> (
           match Corpus.find entry_name with
           | None ->
               Format.eprintf "schemesim: unknown corpus entry %S@." entry_name;
               exit 2
-          | Some e -> (entry_name, Corpus.program e))
+          | Some e -> (entry_name, "corpus:" ^ entry_name, Corpus.program e))
       | None -> (
           match load_source file expr with
           | Error m ->
@@ -502,20 +516,90 @@ let bench_cmd =
               | exception Expand.Expand_error e ->
                   Format.eprintf "schemesim: %a@." Expand.pp_error e;
                   exit 2
-              | program -> (name, program)))
+              | program -> (name, "source:" ^ source, program)))
     in
     let budget =
       make_budget ?timeout_s:timeout ?space_words:space_budget
         ?output_bytes:output_cap ()
     in
-    let failed =
-      if keep_going then begin
-        let s =
-          R.sweep_supervised
-            ~budget:{ budget with Res.Budget.fuel = Some fuel }
-            ~measure_linked:linked ~collect_telemetry:true ~perm ~stack_policy
-            ~variant ~program ~ns ()
+    let cache = Option.map (fun dir -> Mcache.create ~dir ()) cache_dir in
+    let cache_source = Option.map (fun _ -> cache_source) cache in
+    let started = Res.Clock.now () in
+    let outcome =
+      Pool.with_pool ?jobs (fun pool ->
+          if keep_going then
+            `Supervised
+              (R.sweep_supervised ?pool ?cache ?cache_source
+                 ~budget:{ budget with Res.Budget.fuel = Some fuel }
+                 ~measure_linked:linked ~collect_telemetry:true ~perm
+                 ~stack_policy ~variant ~program ~ns ())
+          else
+            `Plain
+              (R.sweep ?pool ?cache ?cache_source ~fuel ~budget
+                 ~measure_linked:linked ~collect_telemetry:true ~perm
+                 ~stack_policy ~variant ~program ~ns ()))
+    in
+    let wall_s = Res.Clock.now () -. started in
+    (match cache with
+    | Some c ->
+        Format.eprintf "; cache: %d hits, %d misses@." (Mcache.hits c)
+          (Mcache.misses c)
+    | None -> ());
+    (match baseline_out with
+    | None -> ()
+    | Some path ->
+        let ms =
+          match outcome with
+          | `Plain ms -> ms
+          | `Supervised s ->
+              List.map (fun (p : R.supervised_point) -> p.R.measurement)
+                s.R.points
         in
+        let merged =
+          Tel.merge_summaries
+            (List.filter_map (fun (m : R.measurement) -> m.R.summary) ms)
+        in
+        let baseline =
+          Json.Obj
+            [
+              ("program", Json.Str name);
+              ("variant", Json.Str (M.variant_name variant));
+              ("ns", Json.List (List.map (fun n -> Json.Int n) ns));
+              ( "jobs",
+                Json.Int
+                  (match jobs with Some j -> max 1 j | None -> Pool.default_jobs ())
+              );
+              ("wall_s", Json.Float wall_s);
+              ( "cache",
+                match cache with
+                | Some c ->
+                    Json.Obj
+                      [
+                        ("hits", Json.Int (Mcache.hits c));
+                        ("misses", Json.Int (Mcache.misses c));
+                      ]
+                | None -> Json.Null );
+              ( "points",
+                Json.List
+                  (List.map
+                     (fun (m : R.measurement) ->
+                       Json.Obj
+                         [
+                           ("n", Json.Int m.R.n);
+                           ("space", Json.Int m.R.space);
+                           ("peak_space", Json.Int m.R.peak_space);
+                           ("steps", Json.Int m.R.steps);
+                           ("status", status_json m.R.status);
+                         ])
+                     ms) );
+              ("telemetry", Tel.summary_to_json merged);
+            ]
+        in
+        write_file path (Json.to_string baseline);
+        Format.eprintf "; baseline -> %s@." path);
+    let failed =
+      match outcome with
+      | `Supervised s ->
         if json then
           print_endline
             (Json.to_string
@@ -550,12 +634,7 @@ let bench_cmd =
           print_string (Table.supervised s)
         end;
         s.R.degraded > 0
-      end
-      else begin
-        let ms =
-          R.sweep ~fuel ~budget ~measure_linked:linked ~collect_telemetry:true
-            ~perm ~stack_policy ~variant ~program ~ns ()
-        in
+      | `Plain ms ->
         if json then
           print_endline
             (Json.to_string
@@ -565,9 +644,27 @@ let bench_cmd =
           print_string (Table.measurements ms)
         end;
         not (R.all_answered ms)
-      end
     in
     if failed then exit 1
+  in
+  let cache_dir_arg =
+    let doc =
+      "Cache measured points as JSON files under $(docv) (created if \
+       missing); a re-run with the same program and configuration replays \
+       cached points instead of measuring them."
+    in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+  in
+  let baseline_out_arg =
+    let doc =
+      "Write a machine-readable baseline (deterministic per-point results \
+       plus wall-clock, job count, cache statistics, and merged telemetry) \
+       to $(docv)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline-out" ] ~docv:"FILE" ~doc)
   in
   let corpus_name_arg =
     let doc = "Sweep a shipped corpus entry instead of a file." in
@@ -582,7 +679,7 @@ let bench_cmd =
       const bench $ file_pos_arg $ expr_arg $ corpus_name_arg $ ns_arg
       $ variant_arg $ perm_arg $ stack_policy_arg $ fuel_arg $ timeout_arg
       $ space_budget_arg $ output_cap_arg $ linked_arg $ json_arg
-      $ keep_going_arg)
+      $ keep_going_arg $ jobs_arg $ cache_dir_arg $ baseline_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -669,20 +766,21 @@ let report_cmd =
     in
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let report which =
+  let report which jobs =
     let table =
-      match which with
-      | "fig2" -> Ok (X.Fig2.render (X.Fig2.run ()))
-      | "thm25" -> Ok (X.Thm25.render (X.Thm25.run ()))
-      | "thm24" -> Ok (X.Thm24.render (X.Thm24.run ()))
-      | "thm26" -> Ok (X.Thm26.render (X.Thm26.run ()))
-      | "sec4" -> Ok (X.Sec4.render (X.Sec4.run ()))
-      | "cor20" -> Ok (X.Cor20.render (X.Cor20.run ()))
-      | "cps" -> Ok (X.Cps.render (X.Cps.run ()))
-      | "ablation" -> Ok (X.Ablation.render (X.Ablation.run ()))
-      | "sanity" -> Ok (X.Sanity.render (X.Sanity.run ()))
-      | "all" -> Ok (X.render_all ())
-      | other -> Error other
+      Pool.with_pool ?jobs (fun pool ->
+          match which with
+          | "fig2" -> Ok (X.Fig2.render (X.Fig2.run ()))
+          | "thm25" -> Ok (X.Thm25.render (X.Thm25.run ?pool ()))
+          | "thm24" -> Ok (X.Thm24.render (X.Thm24.run ?pool ()))
+          | "thm26" -> Ok (X.Thm26.render (X.Thm26.run ?pool ()))
+          | "sec4" -> Ok (X.Sec4.render (X.Sec4.run ?pool ()))
+          | "cor20" -> Ok (X.Cor20.render (X.Cor20.run ?pool ()))
+          | "cps" -> Ok (X.Cps.render (X.Cps.run ?pool ()))
+          | "ablation" -> Ok (X.Ablation.render (X.Ablation.run ?pool ()))
+          | "sanity" -> Ok (X.Sanity.render (X.Sanity.run ?pool ()))
+          | "all" -> Ok (X.render_all ?pool ())
+          | other -> Error other)
     in
     match table with
     | Ok s -> print_string s
@@ -691,7 +789,7 @@ let report_cmd =
         exit 2
   in
   let doc = "Print the paper-reproduction tables (see DESIGN.md)." in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const report $ which_arg)
+  Cmd.v (Cmd.info "report" ~doc) Term.(const report $ which_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* faults                                                              *)

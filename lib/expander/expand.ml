@@ -13,12 +13,14 @@ exception Expand_error of error
 
 let err ?form message = raise (Expand_error { message; form })
 
-let gensym_counter = ref 0
-let reset_gensym () = gensym_counter := 0
+(* Atomic: machine creation expands the prelude, and parallel sweeps
+   create machines on worker domains. Generated names need only be
+   fresh, not sequential across domains. *)
+let gensym_counter = Atomic.make 0
+let reset_gensym () = Atomic.set gensym_counter 0
 
 let gensym prefix =
-  let n = !gensym_counter in
-  incr gensym_counter;
+  let n = Atomic.fetch_and_add gensym_counter 1 in
   Printf.sprintf "%%%s%d" prefix n
 
 let unspecified = Quote C_unspecified

@@ -3,9 +3,16 @@ module Tail_calls = Tailspace_analysis.Tail_calls
 module Corpus = Tailspace_corpus.Corpus
 module Families = Tailspace_corpus.Families
 module Expand = Tailspace_expander.Expand
+module Pool = Tailspace_parallel.Pool
 
 let expand = Expand.program_of_string
 let pct = Tail_calls.percent
+
+(* Parallel discipline, shared by every experiment below: programs are
+   expanded in the driver, the flattened leaf measurements fan out over
+   the pool (each on a fresh machine, see Runner), and the results are
+   regrouped in submission order — so tables are byte-identical whatever
+   the job count. Tasks never touch the pool themselves. *)
 
 let fit_or_none points =
   if List.length points >= 3 then Some (Growth.fit points) else None
@@ -62,23 +69,44 @@ module Thm25 = struct
 
   let default_ns = [ 20; 40; 80; 160 ]
 
-  let run ?(ns = default_ns) ?budget () =
+  let run ?pool ?(ns = default_ns) ?budget () =
+    let programs =
+      List.map (fun (name, source) -> (name, expand source)) Families.separators
+    in
+    let leaves =
+      List.concat_map
+        (fun (name, program) ->
+          List.concat_map
+            (fun variant -> List.map (fun n -> (name, program, variant, n)) ns)
+            Machine.all_variants)
+        programs
+    in
+    let measured =
+      Pool.map ?pool
+        (fun (_, program, variant, n) ->
+          Runner.run_once ?budget ~variant ~program ~n ~gc_policy:`Approximate
+            ())
+        leaves
+    in
+    let tagged = List.combine leaves measured in
     List.map
-      (fun (name, source) ->
-        let program = expand source in
+      (fun (name, _) ->
         let cells =
           List.map
             (fun variant ->
               let ms =
-                Runner.sweep ?budget ~variant ~program ~ns
-                  ~gc_policy:`Approximate ()
+                List.filter_map
+                  (fun ((name', _, v, _), m) ->
+                    if String.equal name' name && v = variant then Some m
+                    else None)
+                  tagged
               in
               let spaces = Runner.spaces ms in
               { variant; spaces; fit = fit_or_none spaces })
             Machine.all_variants
         in
         { separator = name; ns; cells })
-      Families.separators
+      programs
 
   let order_of sweep variant =
     match List.find_opt (fun c -> c.variant = variant) sweep.cells with
@@ -189,22 +217,39 @@ module Thm24 = struct
     && v Machine.Sfs <= v Machine.Free
     && v Machine.Free <= v Machine.Tail
 
-  let run ?(include_slow = false) () =
-    Corpus.all
-    |> List.filter (fun (e : Corpus.entry) -> include_slow || not e.slow)
-    |> List.filter_map (fun (e : Corpus.entry) ->
-           match e.checks with
-           | [] -> None
-           | (n, _) :: _ ->
-               let program = Corpus.program e in
-               let s =
-                 List.map
-                   (fun variant ->
-                     let m = Runner.run_once ~variant ~program ~n () in
-                     (variant, m.Runner.space))
-                   Machine.all_variants
-               in
-               Some { name = e.name; n; s; chain_ok = chain_holds s })
+  let run ?pool ?(include_slow = false) () =
+    let entries =
+      Corpus.all
+      |> List.filter (fun (e : Corpus.entry) -> include_slow || not e.slow)
+      |> List.filter_map (fun (e : Corpus.entry) ->
+             match e.checks with
+             | [] -> None
+             | (n, _) :: _ -> Some (e.name, n, Corpus.program e))
+    in
+    let leaves =
+      List.concat_map
+        (fun (name, n, program) ->
+          List.map (fun v -> (name, n, program, v)) Machine.all_variants)
+        entries
+    in
+    let measured =
+      Pool.map ?pool
+        (fun (_, n, program, variant) ->
+          let m = Runner.run_once ~variant ~program ~n () in
+          m.Runner.space)
+        leaves
+    in
+    let tagged = List.combine leaves measured in
+    List.map
+      (fun (name, n, _) ->
+        let s =
+          List.filter_map
+            (fun ((name', _, _, v), space) ->
+              if String.equal name' name then Some (v, space) else None)
+            tagged
+        in
+        { name; n; s; chain_ok = chain_holds s })
+      entries
 
   let render rows =
     Table.section
@@ -227,36 +272,63 @@ module Thm26 = struct
 
   type result = {
     rows : row list;
-    u_tail_fit : Growth.fit;
-    s_sfs_fit : Growth.fit;
+    u_tail_fit : Growth.fit option;
+    s_sfs_fit : Growth.fit option;
   }
 
   let default_ns = [ 8; 12; 18; 27; 40 ]
 
   let space_of (m : Runner.measurement) = m.Runner.space
 
-  let run ?(ns = default_ns) () =
+  let answered (m : Runner.measurement) =
+    match m.Runner.status with Runner.Answer _ -> true | _ -> false
+
+  let run ?pool ?(ns = default_ns) ?budget () =
+    let tasks = List.map (fun n -> (n, expand (Families.pk_program n))) ns in
+    let measured =
+      Pool.map ?pool
+        (fun (n, program) ->
+          let tail_m =
+            Runner.run_once ?budget ~variant:Machine.Tail ~program ~n
+              ~measure_linked:true ()
+          in
+          let sfs_m = Runner.run_once ?budget ~variant:Machine.Sfs ~program ~n () in
+          (n, tail_m, sfs_m))
+        tasks
+    in
     let rows =
       List.map
-        (fun n ->
-          let program = expand (Families.pk_program n) in
-          let tail_m =
-            Runner.run_once ~variant:Machine.Tail ~program ~n ~measure_linked:true ()
-          in
-          let sfs_m = Runner.run_once ~variant:Machine.Sfs ~program ~n () in
+        (fun (n, tail_m, sfs_m) ->
           {
             n;
             u_tail = Option.value ~default:0 tail_m.Runner.linked;
             s_tail = space_of tail_m;
             s_sfs = space_of sfs_m;
           })
-        ns
+        measured
     in
-    {
-      rows;
-      u_tail_fit = Growth.fit (List.map (fun r -> (r.n, r.u_tail)) rows);
-      s_sfs_fit = Growth.fit (List.map (fun r -> (r.n, r.s_sfs)) rows);
-    }
+    (* Fits run over the points that actually answered: a starved sweep
+       (tight budget, small ns) degrades to fit [None] and a rendered
+       table instead of Growth.fit's Invalid_argument. *)
+    let u_points =
+      List.filter_map
+        (fun (n, tail_m, _) ->
+          if answered tail_m then
+            Option.map (fun l -> (n, l)) tail_m.Runner.linked
+          else None)
+        measured
+    in
+    let s_points =
+      List.filter_map
+        (fun (n, _, sfs_m) ->
+          if answered sfs_m then Some (n, space_of sfs_m) else None)
+        measured
+    in
+    { rows; u_tail_fit = fit_or_none u_points; s_sfs_fit = fit_or_none s_points }
+
+  let fit_name = function
+    | Some f -> Growth.order_name f.Growth.order
+    | None -> "-"
 
   let render result =
     Table.section
@@ -273,8 +345,7 @@ module Thm26 = struct
              ])
            result.rows)
     ^ Printf.sprintf "U_tail fits %s; S_sfs fits %s  (paper: O(N log N) vs O(N^2))\n"
-        (Growth.order_name result.u_tail_fit.Growth.order)
-        (Growth.order_name result.s_sfs_fit.Growth.order)
+        (fit_name result.u_tail_fit) (fit_name result.s_sfs_fit)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -289,7 +360,7 @@ module Sec4 = struct
 
   let default_ns = [ 24; 48; 96; 192 ]
 
-  let run ?(ns = default_ns) () =
+  let run ?pool ?(ns = default_ns) () =
     let programs =
       [
         ( "right",
@@ -304,8 +375,8 @@ module Sec4 = struct
       (fun (spine, traverse, build) ->
         List.map
           (fun variant ->
-            let tm = Runner.sweep ~variant ~program:traverse ~ns () in
-            let bm = Runner.sweep ~variant ~program:build ~ns () in
+            let tm = Runner.sweep ?pool ~variant ~program:traverse ~ns () in
+            let bm = Runner.sweep ?pool ~variant ~program:build ~ns () in
             let deltas =
               List.filter_map
                 (fun n ->
@@ -355,35 +426,48 @@ module Cor20 = struct
     agree : bool;
   }
 
-  let run ?(include_slow = false) () =
-    Corpus.all
-    |> List.filter (fun (e : Corpus.entry) -> include_slow || not e.slow)
-    |> List.filter_map (fun (e : Corpus.entry) ->
-           match e.checks with
-           | [] -> None
-           | (n, _) :: _ ->
-               let program = Corpus.program e in
-               let answers =
-                 List.map
-                   (fun variant ->
-                     let m = Runner.run_once ~variant ~program ~n () in
-                     let text =
-                       match m.Runner.status with
-                       | Runner.Answer a -> a
-                       | Runner.Stuck s -> "stuck: " ^ s
-                       | Runner.Aborted r ->
-                           Runner.Resilience.abort_reason_name r
-                     in
-                     (variant, text))
-                   Machine.all_variants
-               in
-               let agree =
-                 match answers with
-                 | (_, first) :: rest ->
-                     List.for_all (fun (_, a) -> String.equal a first) rest
-                 | [] -> true
-               in
-               Some { name = e.name; n; answers; agree })
+  let run ?pool ?(include_slow = false) () =
+    let entries =
+      Corpus.all
+      |> List.filter (fun (e : Corpus.entry) -> include_slow || not e.slow)
+      |> List.filter_map (fun (e : Corpus.entry) ->
+             match e.checks with
+             | [] -> None
+             | (n, _) :: _ -> Some (e.name, n, Corpus.program e))
+    in
+    let leaves =
+      List.concat_map
+        (fun (name, n, program) ->
+          List.map (fun v -> (name, n, program, v)) Machine.all_variants)
+        entries
+    in
+    let measured =
+      Pool.map ?pool
+        (fun (_, n, program, variant) ->
+          let m = Runner.run_once ~variant ~program ~n () in
+          match m.Runner.status with
+          | Runner.Answer a -> a
+          | Runner.Stuck s -> "stuck: " ^ s
+          | Runner.Aborted r -> Runner.Resilience.abort_reason_name r)
+        leaves
+    in
+    let tagged = List.combine leaves measured in
+    List.map
+      (fun (name, n, _) ->
+        let answers =
+          List.filter_map
+            (fun ((name', _, _, v), text) ->
+              if String.equal name' name then Some (v, text) else None)
+            tagged
+        in
+        let agree =
+          match answers with
+          | (_, first) :: rest ->
+              List.for_all (fun (_, a) -> String.equal a first) rest
+          | [] -> true
+        in
+        { name; n; answers; agree })
+      entries
 
   let render rows =
     Table.section
@@ -414,36 +498,42 @@ module Cps = struct
     ns : int list;
     tail : (int * int) list;
     gc : (int * int) list;
-    tail_fit : Growth.fit;
-    gc_fit : Growth.fit;
+    tail_fit : Growth.fit option;
+    gc_fit : Growth.fit option;
   }
 
   let default_ns = [ 32; 64; 128; 256 ]
 
-  let run ?(ns = default_ns) () =
+  let run ?pool ?(ns = default_ns) ?budget () =
     let program = expand Families.cps_loop in
     let tail =
-      Runner.spaces (Runner.sweep ~variant:Machine.Tail ~program ~ns ())
+      Runner.spaces
+        (Runner.sweep ?pool ?budget ~variant:Machine.Tail ~program ~ns ())
     in
-    let gc = Runner.spaces (Runner.sweep ~variant:Machine.Gc ~program ~ns ()) in
-    {
-      ns;
-      tail;
-      gc;
-      tail_fit = Growth.fit tail;
-      gc_fit = Growth.fit gc;
-    }
+    let gc =
+      Runner.spaces
+        (Runner.sweep ?pool ?budget ~variant:Machine.Gc ~program ~ns ())
+    in
+    (* [Runner.spaces] keeps only answered points, so a starved sweep
+       can leave fewer than three: fit [None] rather than raise. *)
+    { ns; tail; gc; tail_fit = fit_or_none tail; gc_fit = fit_or_none gc }
 
   let render r =
+    let cell spaces n =
+      match List.assoc_opt n spaces with
+      | Some s -> string_of_int s
+      | None -> "-"
+    in
+    let fit_name = function
+      | Some f -> Growth.order_name f.Growth.order
+      | None -> "-"
+    in
     Table.section "E7 / §1: pure CPS needs bounded space only if properly tail recursive"
     ^ Table.render
         ~header:("variant" :: List.map string_of_int r.ns @ [ "fitted" ])
         [
-          ("tail"
-          :: List.map (fun n -> string_of_int (List.assoc n r.tail)) r.ns)
-          @ [ Growth.order_name r.tail_fit.Growth.order ];
-          ("gc" :: List.map (fun n -> string_of_int (List.assoc n r.gc)) r.ns)
-          @ [ Growth.order_name r.gc_fit.Growth.order ];
+          ("tail" :: List.map (cell r.tail) r.ns) @ [ fit_name r.tail_fit ];
+          ("gc" :: List.map (cell r.gc) r.ns) @ [ fit_name r.gc_fit ];
         ]
 end
 
@@ -476,12 +566,12 @@ module Ablation = struct
     | Some lo, Some hi when lo > 0. -> hi /. lo
     | _ -> 0.
 
-  let run ?(ns = default_ns) () =
+  let run ?pool ?(ns = default_ns) () =
     let sweep ?return_env ?evlis_drop_at_creation ~variant label source =
       let program = expand source in
       let ms =
-        Runner.sweep ?return_env ?evlis_drop_at_creation ~variant ~program ~ns
-          ~gc_policy:`Approximate ()
+        Runner.sweep ?pool ?return_env ?evlis_drop_at_creation ~variant
+          ~program ~ns ~gc_policy:`Approximate ()
       in
       { label; spaces = Runner.spaces ms }
     in
@@ -614,7 +704,7 @@ module Sanity = struct
       machine_engine Machine.Gc "reference I_gc (control)";
     ]
 
-  let run ?(ns = default_ns) () =
+  let run ?pool ?(ns = default_ns) () =
     let programs =
       List.map (fun (name, src) -> (name, expand src)) battery
     in
@@ -623,7 +713,7 @@ module Sanity = struct
         (fun (name, program) ->
           ( name,
             Runner.spaces
-              (Runner.sweep ~variant:Machine.Tail ~program ~ns ()) ))
+              (Runner.sweep ?pool ~variant:Machine.Tail ~program ~ns ()) ))
         programs
     in
     let rows =
@@ -634,10 +724,10 @@ module Sanity = struct
               (fun (name, program) ->
                 let tails = List.assoc name tail_spaces in
                 let engine_points =
-                  List.filter_map
-                    (fun n ->
-                      Option.map (fun e -> (n, e)) (run_engine ~program ~n))
-                    ns
+                  List.combine ns
+                    (Pool.map ?pool (fun n -> run_engine ~program ~n) ns)
+                  |> List.filter_map (fun (n, e) ->
+                         Option.map (fun e -> (n, e)) e)
                 in
                 if List.length engine_points >= 3 && List.length tails >= 3
                 then begin
@@ -708,16 +798,16 @@ end
 
 (* ------------------------------------------------------------------ *)
 
-let render_all () =
+let render_all ?pool () =
   String.concat ""
     [
       Fig2.render (Fig2.run ());
-      Thm25.render (Thm25.run ());
-      Thm24.render (Thm24.run ());
-      Thm26.render (Thm26.run ());
-      Sec4.render (Sec4.run ());
-      Cor20.render (Cor20.run ());
-      Cps.render (Cps.run ());
-      Ablation.render (Ablation.run ());
-      Sanity.render (Sanity.run ());
+      Thm25.render (Thm25.run ?pool ());
+      Thm24.render (Thm24.run ?pool ());
+      Thm26.render (Thm26.run ?pool ());
+      Sec4.render (Sec4.run ?pool ());
+      Cor20.render (Cor20.run ?pool ());
+      Cps.render (Cps.run ?pool ());
+      Ablation.render (Ablation.run ?pool ());
+      Sanity.render (Sanity.run ?pool ());
     ]

@@ -7,6 +7,14 @@
 
 module Machine = Tailspace_core.Machine
 module Tail_calls = Tailspace_analysis.Tail_calls
+module Pool = Tailspace_parallel.Pool
+
+(** Every measuring experiment takes an optional [pool]; its leaf
+    measurements (one per sweep point, each on a fresh machine) then fan
+    out over the worker domains and are re-joined in submission order,
+    so the structured results — and hence the rendered tables — are
+    byte-identical with and without a pool. Program expansion always
+    happens in the calling domain. *)
 
 (** {1 E1 — Figure 2: static frequency of tail calls} *)
 module Fig2 : sig
@@ -31,6 +39,7 @@ module Thm25 : sig
   type sweep = { separator : string; ns : int list; cells : cell list }
 
   val run :
+    ?pool:Pool.t ->
     ?ns:int list ->
     ?budget:Tailspace_resilience.Resilience.Budget.t ->
     unit ->
@@ -60,7 +69,7 @@ module Thm24 : sig
             S_sfs <= S_free <= S_tail *)
   }
 
-  val run : ?include_slow:bool -> unit -> row list
+  val run : ?pool:Pool.t -> ?include_slow:bool -> unit -> row list
   val render : row list -> string
 end
 
@@ -75,11 +84,19 @@ module Thm26 : sig
 
   type result = {
     rows : row list;
-    u_tail_fit : Growth.fit;
-    s_sfs_fit : Growth.fit;
+    u_tail_fit : Growth.fit option;
+        (** [None] when fewer than three points answered — a starved
+            sweep degrades the table instead of raising *)
+    s_sfs_fit : Growth.fit option;
   }
 
-  val run : ?ns:int list -> unit -> result
+  val run :
+    ?pool:Pool.t ->
+    ?ns:int list ->
+    ?budget:Tailspace_resilience.Resilience.Budget.t ->
+    unit ->
+    result
+
   val render : result -> string
 end
 
@@ -94,7 +111,7 @@ module Sec4 : sig
     fit : Growth.fit option;
   }
 
-  val run : ?ns:int list -> unit -> row list
+  val run : ?pool:Pool.t -> ?ns:int list -> unit -> row list
   val render : row list -> string
 end
 
@@ -107,7 +124,7 @@ module Cor20 : sig
     agree : bool;
   }
 
-  val run : ?include_slow:bool -> unit -> row list
+  val run : ?pool:Pool.t -> ?include_slow:bool -> unit -> row list
   val render : row list -> string
 end
 
@@ -117,11 +134,18 @@ module Cps : sig
     ns : int list;
     tail : (int * int) list;
     gc : (int * int) list;
-    tail_fit : Growth.fit;
-    gc_fit : Growth.fit;
+    tail_fit : Growth.fit option;
+        (** [None] when fewer than three points answered *)
+    gc_fit : Growth.fit option;
   }
 
-  val run : ?ns:int list -> unit -> result
+  val run :
+    ?pool:Pool.t ->
+    ?ns:int list ->
+    ?budget:Tailspace_resilience.Resilience.Budget.t ->
+    unit ->
+    result
+
   val render : result -> string
 end
 
@@ -145,7 +169,7 @@ module Ablation : sig
     tail_evlis_divergence_literal : float;
   }
 
-  val run : ?ns:int list -> unit -> result
+  val run : ?pool:Pool.t -> ?ns:int list -> unit -> result
   val render : result -> string
 end
 
@@ -179,10 +203,10 @@ module Sanity : sig
 
   type result = { ns : int list; rows : row list }
 
-  val run : ?ns:int list -> unit -> result
+  val run : ?pool:Pool.t -> ?ns:int list -> unit -> result
   val render : result -> string
 end
 
-val render_all : unit -> string
+val render_all : ?pool:Pool.t -> unit -> string
 (** Every experiment's table, in order — the paper-reproduction report
     that [bench/main.exe] prints. *)

@@ -3,6 +3,9 @@ module Ast = Tailspace_ast.Ast
 module Bignum = Tailspace_bignum.Bignum
 module Telemetry = Tailspace_telemetry.Telemetry
 module Resilience = Tailspace_resilience.Resilience
+module Pool = Tailspace_parallel.Pool
+module Cache = Tailspace_parallel.Cache
+module Json = Telemetry.Json
 
 type status =
   | Answer of string
@@ -57,18 +60,181 @@ let run_once ?fuel ?budget ?fault ?measure_linked ?gc_policy ?collect_telemetry
   measure_with machine ?fuel ?budget ?fault ?measure_linked ?gc_policy
     ?collect_telemetry ~program ~n ()
 
-let sweep ?fuel ?budget ?fault ?measure_linked ?gc_policy ?collect_telemetry
-    ?perm ?stack_policy ?return_env ?evlis_drop_at_creation ~variant ~program
-    ~ns () =
-  let machine =
-    Machine.create ~variant ?perm ?stack_policy ?return_env
-      ?evlis_drop_at_creation ()
+(* {2 Measurement codecs}
+
+   A cached measurement must round-trip exactly, including the abort
+   reason and the telemetry summary, so a cache-warm sweep is
+   indistinguishable from a cold one. *)
+
+let status_to_json = function
+  | Answer a -> Json.Obj [ ("kind", Json.Str "answer"); ("value", Json.Str a) ]
+  | Stuck m -> Json.Obj [ ("kind", Json.Str "stuck"); ("message", Json.Str m) ]
+  | Aborted r ->
+      Json.Obj
+        [
+          ("kind", Json.Str "aborted");
+          ("reason", Resilience.abort_reason_to_json r);
+        ]
+
+let str_field name json =
+  match Json.member name json with
+  | Some (Json.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing string field %S" name)
+
+let int_field name json =
+  match Json.member name json with
+  | Some (Json.Int i) -> Ok i
+  | _ -> Error (Printf.sprintf "missing integer field %S" name)
+
+let ( let* ) = Result.bind
+
+let status_of_json json =
+  let* kind = str_field "kind" json in
+  match kind with
+  | "answer" ->
+      let* v = str_field "value" json in
+      Ok (Answer v)
+  | "stuck" ->
+      let* m = str_field "message" json in
+      Ok (Stuck m)
+  | "aborted" -> (
+      match Json.member "reason" json with
+      | Some r ->
+          Result.map (fun r -> Aborted r) (Resilience.abort_reason_of_json r)
+      | None -> Error "status: missing field \"reason\"")
+  | k -> Error (Printf.sprintf "status: unknown kind %S" k)
+
+let measurement_to_json m =
+  Json.Obj
+    [
+      ("n", Json.Int m.n);
+      ("space", Json.Int m.space);
+      ("linked", match m.linked with Some l -> Json.Int l | None -> Json.Null);
+      ("steps", Json.Int m.steps);
+      ("status", status_to_json m.status);
+      ("gc_runs", Json.Int m.gc_runs);
+      ("peak_space", Json.Int m.peak_space);
+      ( "summary",
+        match m.summary with
+        | Some s -> Telemetry.summary_to_json s
+        | None -> Json.Null );
+    ]
+
+let measurement_of_json json =
+  let* n = int_field "n" json in
+  let* space = int_field "space" json in
+  let* steps = int_field "steps" json in
+  let* gc_runs = int_field "gc_runs" json in
+  let* peak_space = int_field "peak_space" json in
+  let linked =
+    match Json.member "linked" json with Some (Json.Int l) -> Some l | _ -> None
   in
+  let* status =
+    match Json.member "status" json with
+    | Some s -> status_of_json s
+    | None -> Error "measurement: missing field \"status\""
+  in
+  let* summary =
+    match Json.member "summary" json with
+    | Some Json.Null | None -> Ok None
+    | Some s -> Result.map Option.some (Telemetry.summary_of_json s)
+  in
+  Ok { n; space; linked; steps; status; gc_runs; peak_space; summary }
+
+(* {2 Cache keys}
+
+   Everything that can change a measurement goes into the key: the
+   program identity supplied by the caller ([cache_source] — source
+   text, or a corpus tag), the machine configuration, the governor
+   budget, the fault plan, and the input. The leading version tag
+   invalidates old entries whenever the codec or the semantics of a
+   part changes. *)
+
+let point_key ~source ?fuel ?budget ?fault ?measure_linked ?gc_policy ?perm
+    ?stack_policy ?return_env ?evlis_drop_at_creation ?(collect_telemetry =
+      false) ~variant ~extra ~n () =
+  let opt f = function Some v -> f v | None -> "default" in
+  Cache.key
+    ([
+       "tailspace-measurement-v1";
+       source;
+       Machine.variant_name variant;
+       opt
+         (function
+           | Machine.Left_to_right -> "ltr"
+           | Machine.Right_to_left -> "rtl"
+           | Machine.Seeded s -> Printf.sprintf "seeded:%d" s)
+         perm;
+       opt
+         (function Machine.Algol -> "algol" | Machine.Safe_deletion -> "safe")
+         stack_policy;
+       opt
+         (function
+           | Machine.Closure_env -> "closure" | Machine.Register_env -> "register")
+         return_env;
+       opt string_of_bool evlis_drop_at_creation;
+       opt string_of_int fuel;
+       opt (fun b -> Json.to_string (Resilience.Budget.to_json b)) budget;
+       opt (fun f -> Json.to_string (Resilience.Fault.to_json f)) fault;
+       opt string_of_bool measure_linked;
+       opt (function `Exact -> "exact" | `Approximate -> "approximate") gc_policy;
+       string_of_bool collect_telemetry;
+       string_of_int n;
+     ]
+    @ extra)
+
+(* Probe the cache for every input, compute only the misses (fanned out
+   on the pool when given), then store the fresh results and reassemble
+   the table in input order. Cache traffic stays on the calling domain;
+   workers only ever run the pure task. *)
+let through_cache ~cache ~key ~decode ~encode ~task ?pool ns =
+  let probed =
+    List.map
+      (fun n ->
+        let hit =
+          Option.bind (Cache.find cache (key n)) (fun j ->
+              Result.to_option (decode j))
+        in
+        (n, hit))
+      ns
+  in
+  let missing = List.filter_map (fun (n, h) -> if h = None then Some n else None) probed in
+  let fresh = ref (Pool.map ?pool task missing) in
   List.map
-    (fun n ->
-      measure_with machine ?fuel ?budget ?fault ?measure_linked ?gc_policy
-        ?collect_telemetry ~program ~n ())
-    ns
+    (fun (n, hit) ->
+      match hit with
+      | Some v -> v
+      | None -> (
+          match !fresh with
+          | v :: rest ->
+              fresh := rest;
+              Cache.store cache (key n) (encode v);
+              v
+          | [] -> assert false))
+    probed
+
+let sweep ?pool ?cache ?cache_source ?fuel ?budget ?fault ?measure_linked
+    ?gc_policy ?collect_telemetry ?perm ?stack_policy ?return_env
+    ?evlis_drop_at_creation ~variant ~program ~ns () =
+  (* Each point runs on a fresh machine so results depend only on the
+     point itself — not on sweep order, job count, or RNG state carried
+     over from earlier inputs. This is what makes parallel sweeps
+     byte-identical to serial ones. *)
+  let task n =
+    run_once ?fuel ?budget ?fault ?measure_linked ?gc_policy ?collect_telemetry
+      ?perm ?stack_policy ?return_env ?evlis_drop_at_creation ~variant ~program
+      ~n ()
+  in
+  match (cache, cache_source) with
+  | Some cache, Some source ->
+      let key n =
+        point_key ~source ?fuel ?budget ?fault ?measure_linked ?gc_policy ?perm
+          ?stack_policy ?return_env ?evlis_drop_at_creation ?collect_telemetry
+          ~variant ~extra:[] ~n ()
+      in
+      through_cache ~cache ~key ~decode:measurement_of_json
+        ~encode:measurement_to_json ~task ?pool ns
+  | _ -> Pool.map ?pool task ns
 
 (* {2 The crash-proof sweep supervisor} *)
 
@@ -96,25 +262,44 @@ let crashed_measurement n message =
     summary = None;
   }
 
-let sweep_supervised ?(budget = Resilience.Budget.unlimited) ?fault
-    ?measure_linked ?gc_policy ?collect_telemetry ?perm ?stack_policy
-    ?return_env ?evlis_drop_at_creation ?(max_attempts = 3) ?(fuel_factor = 4)
-    ?(fuel_cap = 50_000_000) ?(initial_fuel = 1_000_000) ~variant ~program ~ns
-    () =
-  let machine =
-    Machine.create ~variant ?perm ?stack_policy ?return_env
-      ?evlis_drop_at_creation ()
+let supervised_point_to_json p =
+  Json.Obj
+    [
+      ("measurement", measurement_to_json p.measurement);
+      ("attempts", Json.Int p.attempts);
+      ("note", match p.note with Some s -> Json.Str s | None -> Json.Null);
+    ]
+
+let supervised_point_of_json json =
+  let* measurement =
+    match Json.member "measurement" json with
+    | Some m -> measurement_of_json m
+    | None -> Error "supervised_point: missing field \"measurement\""
   in
+  let* attempts = int_field "attempts" json in
+  let note =
+    match Json.member "note" json with Some (Json.Str s) -> Some s | _ -> None
+  in
+  Ok { measurement; attempts; note }
+
+let sweep_supervised ?pool ?cache ?cache_source
+    ?(budget = Resilience.Budget.unlimited) ?fault ?measure_linked ?gc_policy
+    ?collect_telemetry ?perm ?stack_policy ?return_env ?evlis_drop_at_creation
+    ?(max_attempts = 3) ?(fuel_factor = 4) ?(fuel_cap = 50_000_000)
+    ?(initial_fuel = 1_000_000) ~variant ~program ~ns () =
   let start_fuel =
     min fuel_cap (Option.value budget.Resilience.Budget.fuel ~default:initial_fuel)
   in
   let supervise n =
     let rec attempt k fuel =
       let budget = { budget with Resilience.Budget.fuel = Some fuel } in
+      (* A fresh machine per attempt: retries differ only in their fuel,
+         and points are independent of each other and of ordering. *)
       let m =
         match
-          measure_with machine ~budget ?fault ?measure_linked ?gc_policy
-            ?collect_telemetry ~program ~n ()
+          run_once ~budget ?fault ?measure_linked ?gc_policy ?collect_telemetry
+            ?perm ?stack_policy ?return_env ?evlis_drop_at_creation ~variant
+            ~program ~n ()
         with
         | m -> m
         | exception e -> crashed_measurement n (Printexc.to_string e)
@@ -144,7 +329,27 @@ let sweep_supervised ?(budget = Resilience.Budget.unlimited) ?fault
     in
     attempt 1 start_fuel
   in
-  let points = List.map supervise ns in
+  let points =
+    match (cache, cache_source) with
+    | Some cache, Some source ->
+        let key n =
+          point_key ~source ~budget ?fault ?measure_linked ?gc_policy ?perm
+            ?stack_policy ?return_env ?evlis_drop_at_creation
+            ?collect_telemetry ~variant
+            ~extra:
+              [
+                "supervised";
+                string_of_int max_attempts;
+                string_of_int fuel_factor;
+                string_of_int fuel_cap;
+                string_of_int initial_fuel;
+              ]
+            ~n ()
+        in
+        through_cache ~cache ~key ~decode:supervised_point_of_json
+          ~encode:supervised_point_to_json ~task:supervise ?pool ns
+    | _ -> Pool.map ?pool supervise ns
+  in
   let answered =
     List.length
       (List.filter

@@ -4,6 +4,8 @@
 module Machine = Tailspace_core.Machine
 module Telemetry = Tailspace_telemetry.Telemetry
 module Resilience = Tailspace_resilience.Resilience
+module Pool = Tailspace_parallel.Pool
+module Cache = Tailspace_parallel.Cache
 
 type status =
   | Answer of string
@@ -47,7 +49,19 @@ val run_once :
     instance to the run and stores its summary in the measurement.
     [budget] and [fault] are forwarded to {!Machine.run_program}. *)
 
+val status_to_json : status -> Telemetry.Json.t
+val status_of_json : Telemetry.Json.t -> (status, string) result
+
+val measurement_to_json : measurement -> Telemetry.Json.t
+
+val measurement_of_json : Telemetry.Json.t -> (measurement, string) result
+(** Exact inverse of {!measurement_to_json}, abort reasons and telemetry
+    summaries included — what the result cache stores per sweep point. *)
+
 val sweep :
+  ?pool:Pool.t ->
+  ?cache:Cache.t ->
+  ?cache_source:string ->
   ?fuel:int ->
   ?budget:Resilience.Budget.t ->
   ?fault:Resilience.Fault.plan ->
@@ -63,9 +77,16 @@ val sweep :
   ns:int list ->
   unit ->
   measurement list
-(** One machine instance reused across the inputs; with
-    [collect_telemetry], each input still gets its own telemetry, so
-    summaries are per-measurement. *)
+(** Every input runs on a fresh machine instance, so each point is
+    exactly {!run_once} of that input: results are independent of sweep
+    order, of the [pool]'s job count, and of machine state (notably the
+    RNG) left behind by earlier inputs. With a [pool], points are
+    measured concurrently and returned in input order — the table is
+    byte-identical to the serial one. With [cache] and [cache_source]
+    (the program's identity: its source text, or a corpus tag), points
+    already measured under the same configuration are replayed from the
+    cache and only the misses run; the cache is touched only from the
+    calling domain. *)
 
 (** {1 The crash-proof sweep supervisor}
 
@@ -87,7 +108,15 @@ type supervised = {
   degraded : int;  (** points whose final status is not [Answer] *)
 }
 
+val supervised_point_to_json : supervised_point -> Telemetry.Json.t
+
+val supervised_point_of_json :
+  Telemetry.Json.t -> (supervised_point, string) result
+
 val sweep_supervised :
+  ?pool:Pool.t ->
+  ?cache:Cache.t ->
+  ?cache_source:string ->
   ?budget:Resilience.Budget.t ->
   ?fault:Resilience.Fault.plan ->
   ?measure_linked:bool ->
@@ -115,7 +144,11 @@ val sweep_supervised :
     recorded as [Aborted (Crashed _)]. The first attempt's fuel is
     [budget.fuel] when set, else [initial_fuel] (default 1M steps).
     Always returns the full table: failed points carry their abort
-    reason in the measurement status and a human note. *)
+    reason in the measurement status and a human note.
+
+    Points run on fresh machines (one per attempt) and are independent,
+    so [pool], [cache], and [cache_source] behave exactly as in {!sweep};
+    the supervision parameters are part of the cache key. *)
 
 val spaces : measurement list -> (int * int) list
 (** [(n, space)] pairs of the successful measurements. *)

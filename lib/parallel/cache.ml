@@ -1,0 +1,80 @@
+module Json = Tailspace_telemetry.Telemetry.Json
+
+type t = {
+  dir : string option;
+  memory : (string, Json.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?dir () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> (
+      try Sys.mkdir d 0o755 with Sys_error _ -> ())
+  | _ -> ());
+  { dir; memory = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let dir t = t.dir
+
+(* Order-sensitive and unambiguous: each part is length-prefixed, so
+   ["ab"; "c"] and ["a"; "bc"] hash differently. MD5 is fine here — the
+   key only needs to be collision-resistant against accidents, and
+   Digest is in the stdlib. *)
+let key parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let path t k = Option.map (fun d -> Filename.concat d (k ^ ".json")) t.dir
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t k =
+  match Hashtbl.find_opt t.memory k with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Some v
+  | None -> (
+      let from_disk =
+        match path t k with
+        | Some p when Sys.file_exists p -> (
+            match Json.of_string (read_file p) with
+            | Ok v -> Some v
+            | Error _ | (exception Sys_error _) -> None)
+        | _ -> None
+      in
+      match from_disk with
+      | Some v ->
+          Hashtbl.replace t.memory k v;
+          t.hits <- t.hits + 1;
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let store t k v =
+  Hashtbl.replace t.memory k v;
+  match path t k with
+  | None -> ()
+  | Some p -> (
+      try
+        let tmp = p ^ ".tmp" in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Json.to_string v));
+        Sys.rename tmp p
+      with Sys_error _ -> ())
+
+let hits t = t.hits
+let misses t = t.misses
+let size t = Hashtbl.length t.memory

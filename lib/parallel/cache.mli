@@ -1,0 +1,43 @@
+(** The measurement result cache: repeated [bench] invocations are
+    incremental.
+
+    A cache maps a {e content-hash key} — built by the caller from
+    everything that determines a measurement (program source, machine
+    variant, space model, policy flags, input N, budget) — to a JSON
+    value. Entries live in memory for the lifetime of the cache and,
+    when a directory is given, as one [<key>.json] file each on disk, so
+    a later process sees them too.
+
+    The cache is driver-side state: look entries up before dispatching
+    work to a {!Pool} and store results after joining. It is not
+    domain-safe and must only be touched from the submitting domain. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** [create ~dir ()] persists entries under [dir] (created if missing);
+    without [dir] the cache is memory-only. *)
+
+val dir : t -> string option
+
+val key : string list -> string
+(** Content hash of the given parts (order-sensitive, separator-safe):
+    the hex digest that names the entry. Callers include every input
+    that could change the measurement. *)
+
+val find : t -> string -> Tailspace_telemetry.Telemetry.Json.t option
+(** Memory first, then disk. A missing, unreadable, or unparsable disk
+    entry is a miss (the entry will simply be recomputed). Counts a hit
+    or a miss. *)
+
+val store : t -> string -> Tailspace_telemetry.Telemetry.Json.t -> unit
+(** Insert in memory and, when persistent, write [dir/<key>.json]
+    atomically (temp file + rename). Write failures degrade to
+    memory-only silently: a broken cache must never fail a sweep. *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val size : t -> int
+(** In-memory entries. *)

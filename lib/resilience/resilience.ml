@@ -54,6 +54,48 @@ let abort_reason_to_json reason : Json.t =
   | Injected_fault m -> Obj [ tag; ("fault", Str m) ]
   | Crashed m -> Obj [ tag; ("exception", Str m) ]
 
+let abort_reason_of_json json =
+  let int_field name =
+    match Json.member name json with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "abort_reason: missing integer field %S" name)
+  in
+  let float_field name =
+    match Json.member name json with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "abort_reason: missing float field %S" name)
+  in
+  let str_field name =
+    match Json.member name json with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "abort_reason: missing string field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* tag = str_field "reason" in
+  match tag with
+  | "out-of-fuel" ->
+      let* limit = int_field "limit" in
+      Ok (Out_of_fuel { limit })
+  | "space-budget" ->
+      let* budget = int_field "budget" in
+      let* live = int_field "live" in
+      Ok (Space_exceeded { budget; live })
+  | "deadline" ->
+      let* timeout_s = float_field "timeout_s" in
+      Ok (Deadline_exceeded { timeout_s })
+  | "output-cap" ->
+      let* cap = int_field "cap" in
+      let* written = int_field "written" in
+      Ok (Output_exceeded { cap; written })
+  | "injected-fault" ->
+      let* m = str_field "fault" in
+      Ok (Injected_fault m)
+  | "crashed" ->
+      let* m = str_field "exception" in
+      Ok (Crashed m)
+  | other -> Error (Printf.sprintf "abort_reason: unknown tag %S" other)
+
 (* ------------------------------------------------------------------ *)
 (* Wall clock                                                          *)
 
@@ -239,7 +281,12 @@ module Fault = struct
     {
       plan;
       gc_steps;
-      rng = (match plan.gc_seed with Some s -> s land 0xFFFFFFFFFFFF | None -> 0);
+      (* The LCG state must start nonzero so an unseeded or zero-seeded
+         cursor still walks the full sequence rather than degenerating. *)
+      rng =
+        (match plan.gc_seed with
+        | Some s when s land 0xFFFFFFFFFFFF <> 0 -> s land 0xFFFFFFFFFFFF
+        | Some _ | None -> 0x5DEECE66D);
       allocs = 0;
       fuel_dropped = false;
     }
@@ -247,7 +294,11 @@ module Fault = struct
   let force_gc c ~step =
     let explicit = Hashtbl.mem c.gc_steps step in
     let periodic =
-      match c.plan.gc_every with Some k when k > 0 -> step mod k = 0 | _ -> false
+      (* Fire at steps k, 2k, … — not step 0, which would make the plan
+         collect k+1 times per k·n steps. *)
+      match c.plan.gc_every with
+      | Some k when k > 0 -> step > 0 && step mod k = 0
+      | _ -> false
     in
     let seeded =
       match c.plan.gc_seed with

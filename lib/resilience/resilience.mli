@@ -55,6 +55,11 @@ val abort_reason_message : abort_reason -> string
 val abort_reason_to_json : abort_reason -> Json.t
 (** [{"reason": <tag>, ...payload fields}] *)
 
+val abort_reason_of_json : Json.t -> (abort_reason, string) result
+(** Full inverse of {!abort_reason_to_json}, payload included —
+    [abort_reason_of_json (abort_reason_to_json r)] is [Ok r]. Used by
+    the measurement cache to rehydrate aborted sweep points. *)
+
 (** {1 Wall clock} *)
 
 module Clock : sig
@@ -145,7 +150,8 @@ module Fault : sig
     unit ->
     plan
   (** [gc_at] forces a collection before the listed steps; [gc_every k]
-      before every [k]-th step; [gc_seed] drives a pseudorandom schedule
+      before steps [k], [2k], … (exactly [n] collections per [k*n]
+      steps — step 0 never fires); [gc_seed] drives a pseudorandom schedule
       forcing a collection on roughly one step in eight; [fail_alloc n]
       makes the [n]-th store allocation (1-based) raise {!Injected};
       [fuel_drop (s, k)] caps the remaining fuel to [k] more steps once

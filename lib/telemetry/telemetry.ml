@@ -374,18 +374,33 @@ module Profile = struct
     p.len <- p.len + 1
 
   let compact p =
-    (* keep every other sample; double the stride *)
-    let half = (p.len + 1) / 2 in
-    for i = 0 to half - 1 do
-      p.steps.(i) <- p.steps.(2 * i);
-      p.spaces.(i) <- p.spaces.(2 * i)
+    (* Double the stride and retain exactly the samples aligned with the
+       new stride (dropping duplicate steps), so [samples] satisfies
+       step ≡ 0 (mod stride) however many compactions have run. Keeping
+       "every other sample" instead would leave retained steps
+       misaligned once strides and sampled steps drift apart. *)
+    let stride = 2 * p.stride in
+    let kept = ref 0 in
+    for i = 0 to p.len - 1 do
+      if
+        p.steps.(i) mod stride = 0
+        && (!kept = 0 || p.steps.(!kept - 1) <> p.steps.(i))
+      then begin
+        p.steps.(!kept) <- p.steps.(i);
+        p.spaces.(!kept) <- p.spaces.(i);
+        incr kept
+      end
     done;
-    p.len <- half;
-    p.stride <- 2 * p.stride
+    p.len <- !kept;
+    p.stride <- stride
 
   let sample p ~step ~space =
     if step mod p.stride = 0 then begin
-      if p.len >= p.max_samples then compact p;
+      while p.len >= p.max_samples do
+        compact p
+      done;
+      (* The compaction loop may have coarsened the stride past this
+         step; the triggering sample is kept only if still aligned. *)
       if step mod p.stride = 0 then push p step space
     end
 
@@ -554,6 +569,61 @@ let summary (t : t) : summary =
     peak_space = t.peak_space;
     peak_linked = note_peak_linked t;
     stuck = t.stuck;
+  }
+
+let empty_summary : summary =
+  {
+    steps = 0;
+    gc_runs = 0;
+    gc_freed = 0;
+    allocations = [];
+    alloc_words = 0;
+    max_cont_depth = 0;
+    cont_pushes = 0;
+    cont_pops = 0;
+    store_hwm = 0;
+    peak_space = 0;
+    peak_linked = None;
+    stuck = None;
+  }
+
+let merge_summaries summaries =
+  (* Fleet view over independent runs: counters add up, high-water marks
+     take the worst run, [stuck] keeps the first failure. *)
+  let counts = Array.make n_kinds 0 in
+  let merge acc s =
+    List.iter
+      (fun (kind, c) ->
+        let i = kind_index kind in
+        counts.(i) <- counts.(i) + c)
+      s.allocations;
+    {
+      steps = acc.steps + s.steps;
+      gc_runs = acc.gc_runs + s.gc_runs;
+      gc_freed = acc.gc_freed + s.gc_freed;
+      allocations = [];
+      alloc_words = acc.alloc_words + s.alloc_words;
+      max_cont_depth = Stdlib.max acc.max_cont_depth s.max_cont_depth;
+      cont_pushes = acc.cont_pushes + s.cont_pushes;
+      cont_pops = acc.cont_pops + s.cont_pops;
+      store_hwm = Stdlib.max acc.store_hwm s.store_hwm;
+      peak_space = Stdlib.max acc.peak_space s.peak_space;
+      peak_linked =
+        (match (acc.peak_linked, s.peak_linked) with
+        | Some a, Some b -> Some (Stdlib.max a b)
+        | (Some _ as p), None | None, p -> p);
+      stuck = (match acc.stuck with Some _ -> acc.stuck | None -> s.stuck);
+    }
+  in
+  let acc = List.fold_left merge empty_summary summaries in
+  {
+    acc with
+    allocations =
+      List.filter_map
+        (fun kind ->
+          let c = counts.(kind_index kind) in
+          if c > 0 then Some (kind, c) else None)
+        all_alloc_kinds;
   }
 
 let summary_to_json (s : summary) : Json.t =

@@ -188,6 +188,16 @@ type summary = {
 
 val summary : t -> summary
 
+val merge_summaries : summary list -> summary
+(** Combine the summaries of independent runs (e.g. one per sweep point,
+    each measured on its own worker) into a fleet view: counters
+    ([steps], [gc_runs], [gc_freed], per-kind [allocations],
+    [alloc_words], [cont_pushes], [cont_pops]) sum; high-water marks
+    ([max_cont_depth], [store_hwm], [peak_space], [peak_linked]) take
+    the maximum, with [peak_linked] [None] only when unmeasured
+    everywhere; [stuck] keeps the first [Some] in list order. The empty
+    list merges to the all-zero summary. *)
+
 val summary_to_json : summary -> Json.t
 val summary_of_json : Json.t -> (summary, string) result
 (** Inverse of {!summary_to_json}: [summary_of_json (summary_to_json s)]

@@ -137,10 +137,14 @@ let test_cor20_agreement () =
 
 let test_cps_shapes () =
   let r = X.Cps.run ~ns:[ 16; 32; 64; 128 ] () in
+  let order = function
+    | Some (f : G.fit) -> f.G.order
+    | None -> Alcotest.fail "CPS sweep starved: no fit"
+  in
   Alcotest.(check string) "tail bounded" "O(1)"
-    (G.order_name r.X.Cps.tail_fit.G.order);
+    (G.order_name (order r.X.Cps.tail_fit));
   Alcotest.(check bool) "gc at least linear" true
-    (G.at_least r.X.Cps.gc_fit.G.order G.Linear)
+    (G.at_least (order r.X.Cps.gc_fit) G.Linear)
 
 let test_ablation_choices_matter () =
   (* E8: the faithful readings separate; the literal readings do not *)

@@ -1,0 +1,347 @@
+(* The parallel measurement engine: the domain pool's ordering and
+   failure contract, the result cache, sweep determinism across job
+   counts (tables must be byte-identical), cache-warm replay, the
+   profile downsampler's alignment invariant, summary merging, and the
+   fault-plan periodic-GC fencepost. *)
+
+module M = Tailspace_core.Machine
+module Tel = Tailspace_telemetry.Telemetry
+module Res = Tailspace_resilience.Resilience
+module Pool = Tailspace_parallel.Pool
+module Cache = Tailspace_parallel.Cache
+module R = Tailspace_harness.Runner
+module X = Tailspace_harness.Experiments
+module G = Tailspace_harness.Growth
+module Expand = Tailspace_expander.Expand
+module Json = Tel.Json
+
+let with_test_pool ~jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* the pool *)
+
+let test_pool_map_order () =
+  with_test_pool ~jobs:4 @@ fun pool ->
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "results in submission order"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map ~pool (fun x -> x * x) xs);
+  (* the pool is reusable across maps *)
+  Alcotest.(check (list string))
+    "second map on the same pool" [ "0"; "1"; "2" ]
+    (Pool.map ~pool string_of_int [ 0; 1; 2 ])
+
+let test_pool_earliest_exception () =
+  with_test_pool ~jobs:3 @@ fun pool ->
+  match
+    Pool.map ~pool
+      (fun x -> if x mod 2 = 1 then failwith (string_of_int x) else x)
+      [ 0; 1; 2; 3; 4 ]
+  with
+  | _ -> Alcotest.fail "expected the map to raise"
+  | exception Failure msg ->
+      Alcotest.(check string) "earliest failed item wins" "1" msg
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~jobs:2 () in
+  Alcotest.(check int) "jobs" 2 (Pool.jobs pool);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  (match Pool.map ~pool Fun.id [ 1 ] with
+  | _ -> Alcotest.fail "map on a shut-down pool must raise"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check (list int))
+    "with_pool jobs:1 takes the serial path" [ 2; 4 ]
+    (Pool.with_pool ~jobs:1 (fun pool ->
+         Alcotest.(check bool) "no pool spawned" true (pool = None);
+         Pool.map ?pool (fun x -> 2 * x) [ 1; 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* the cache *)
+
+let tmp_dir () = Filename.temp_file "tailspace-cache" "" |> fun f ->
+  Sys.remove f;
+  f
+
+let test_cache_roundtrip () =
+  let c = Cache.create () in
+  let k = Cache.key [ "a"; "b" ] in
+  Alcotest.(check bool) "miss on empty" true (Cache.find c k = None);
+  Cache.store c k (Json.Int 42);
+  Alcotest.(check bool) "hit after store" true (Cache.find c k = Some (Json.Int 42));
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c);
+  Alcotest.(check int) "size" 1 (Cache.size c)
+
+let test_cache_keys_unambiguous () =
+  (* length-prefixed parts: moving a boundary must change the key *)
+  Alcotest.(check bool) "ab|c <> a|bc" false
+    (Cache.key [ "ab"; "c" ] = Cache.key [ "a"; "bc" ]);
+  Alcotest.(check bool) "order matters" false
+    (Cache.key [ "x"; "y" ] = Cache.key [ "y"; "x" ]);
+  Alcotest.(check string) "stable" (Cache.key [ "x" ]) (Cache.key [ "x" ])
+
+let test_cache_persists () =
+  let dir = tmp_dir () in
+  let k = Cache.key [ "persisted" ] in
+  let c1 = Cache.create ~dir () in
+  Cache.store c1 k (Json.Obj [ ("v", Json.Str "x") ]);
+  (* a second instance over the same directory sees the entry *)
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check bool) "disk hit" true
+    (Cache.find c2 k = Some (Json.Obj [ ("v", Json.Str "x") ]));
+  (* a corrupt entry is a miss, not an error *)
+  let k_bad = Cache.key [ "corrupt" ] in
+  Out_channel.with_open_bin
+    (Filename.concat dir (k_bad ^ ".json"))
+    (fun oc -> output_string oc "{not json");
+  Alcotest.(check bool) "corrupt entry is a miss" true
+    (Cache.find c2 k_bad = None)
+
+(* ------------------------------------------------------------------ *)
+(* sweeps: parallel = serial, cache-warm = cold *)
+
+let countdown =
+  Expand.program_of_string
+    "(define (count n) (if (zero? n) 'ok (count (- n 1)))) count"
+
+let test_sweep_parallel_equals_serial () =
+  let ns = [ 10; 20; 40; 80 ] in
+  let serial = R.sweep ~variant:M.Tail ~program:countdown ~ns () in
+  with_test_pool ~jobs:4 @@ fun pool ->
+  let parallel = R.sweep ~pool ~variant:M.Tail ~program:countdown ~ns () in
+  Alcotest.(check bool) "identical measurement lists" true (serial = parallel);
+  let s_serial =
+    R.sweep_supervised ~variant:M.Tail ~program:countdown ~ns ()
+  in
+  let s_parallel =
+    R.sweep_supervised ~pool ~variant:M.Tail ~program:countdown ~ns ()
+  in
+  Alcotest.(check bool) "identical supervised sweeps" true
+    (s_serial = s_parallel)
+
+let test_sweep_cache_warm () =
+  let dir = tmp_dir () in
+  let cache = Cache.create ~dir () in
+  let ns = [ 10; 20; 40 ] in
+  let sweep () =
+    R.sweep ~cache ~cache_source:"test:countdown" ~variant:M.Tail
+      ~program:countdown ~ns ~collect_telemetry:true ()
+  in
+  let cold = sweep () in
+  Alcotest.(check int) "cold misses" 3 (Cache.misses cache);
+  Alcotest.(check int) "cold hits" 0 (Cache.hits cache);
+  let warm = sweep () in
+  Alcotest.(check int) "warm hits" 3 (Cache.hits cache);
+  Alcotest.(check int) "warm misses" 3 (Cache.misses cache);
+  Alcotest.(check bool) "warm equals cold" true (cold = warm);
+  (* a second process (fresh cache over the same directory) also replays *)
+  let cache2 = Cache.create ~dir () in
+  let replay =
+    R.sweep ~cache:cache2 ~cache_source:"test:countdown" ~variant:M.Tail
+      ~program:countdown ~ns ~collect_telemetry:true ()
+  in
+  Alcotest.(check int) "disk hits" 3 (Cache.hits cache2);
+  Alcotest.(check bool) "disk replay equals cold" true (cold = replay);
+  (* a different configuration does not alias *)
+  let _ =
+    R.sweep ~cache:cache2 ~cache_source:"test:countdown" ~variant:M.Gc
+      ~program:countdown ~ns ~collect_telemetry:true ()
+  in
+  Alcotest.(check int) "other variant misses" 3 (Cache.misses cache2)
+
+let test_measurement_json_roundtrip () =
+  let ms =
+    R.sweep ~variant:M.Gc ~program:countdown ~ns:[ 12 ]
+      ~collect_telemetry:true ()
+  in
+  let aborted =
+    R.sweep ~fuel:10 ~variant:M.Gc ~program:countdown ~ns:[ 1000 ] ()
+  in
+  List.iter
+    (fun (m : R.measurement) ->
+      match R.measurement_of_json (R.measurement_to_json m) with
+      | Ok m' -> Alcotest.(check bool) "round-trips" true (m = m')
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    (ms @ aborted)
+
+(* ------------------------------------------------------------------ *)
+(* experiment tables byte-identical across job counts *)
+
+let test_tables_jobs_invariant () =
+  let ns = [ 8; 16; 24 ] in
+  let thm25_serial = X.Thm25.render (X.Thm25.run ~ns ()) in
+  let thm26_serial = X.Thm26.render (X.Thm26.run ~ns ()) in
+  with_test_pool ~jobs:4 @@ fun pool ->
+  Alcotest.(check string) "thm25 table" thm25_serial
+    (X.Thm25.render (X.Thm25.run ~pool ~ns ()));
+  Alcotest.(check string) "thm26 table" thm26_serial
+    (X.Thm26.render (X.Thm26.run ~pool ~ns ()))
+
+(* ------------------------------------------------------------------ *)
+(* starved sweeps degrade the table instead of raising *)
+
+let test_starved_fits_degrade () =
+  (* a fuel budget too small for any point to answer: every fit is None
+     and the tables still render *)
+  let budget = Res.Budget.make ~fuel:5 () in
+  let thm26 = X.Thm26.run ~ns:[ 8; 12; 18 ] ~budget () in
+  Alcotest.(check bool) "thm26 u_tail fit degrades" true
+    (thm26.X.Thm26.u_tail_fit = None);
+  Alcotest.(check bool) "thm26 s_sfs fit degrades" true
+    (thm26.X.Thm26.s_sfs_fit = None);
+  Alcotest.(check bool) "thm26 renders" true
+    (String.length (X.Thm26.render thm26) > 50);
+  let cps = X.Cps.run ~ns:[ 16; 32; 64 ] ~budget () in
+  Alcotest.(check bool) "cps fits degrade" true
+    (cps.X.Cps.tail_fit = None && cps.X.Cps.gc_fit = None);
+  Alcotest.(check bool) "cps renders" true
+    (String.length (X.Cps.render cps) > 50);
+  (* Thm25 under the same starvation: cells lose their fits but the
+     sweep still renders *)
+  let sweeps = X.Thm25.run ~ns:[ 8; 12; 18 ] ~budget () in
+  Alcotest.(check bool) "thm25 renders under starvation" true
+    (String.length (X.Thm25.render sweeps) > 50)
+
+(* ------------------------------------------------------------------ *)
+(* profile downsampler invariant (QCheck) *)
+
+let test_profile_invariant =
+  QCheck.Test.make ~count:200 ~name:"profile samples aligned and increasing"
+    QCheck.(
+      triple (int_range 2 9) (int_range 1 4) (int_range 1 400))
+    (fun (max_samples, stride, total_steps) ->
+      let p = Tel.Profile.create ~stride ~max_samples () in
+      for step = 0 to total_steps - 1 do
+        Tel.Profile.sample p ~step ~space:(step + 7)
+      done;
+      let samples = Tel.Profile.samples p in
+      let steps = List.map fst samples in
+      let final_stride = Tel.Profile.stride p in
+      List.length samples <= max_samples
+      && List.for_all (fun s -> s mod final_stride = 0) steps
+      && (let rec increasing = function
+            | a :: (b :: _ as rest) -> a < b && increasing rest
+            | _ -> true
+          in
+          increasing steps)
+      && List.for_all (fun (s, sp) -> sp = s + 7) samples)
+
+(* ------------------------------------------------------------------ *)
+(* summary merging *)
+
+let test_merge_summaries () =
+  let summarize src =
+    let t = M.create () in
+    let tl = Tel.create () in
+    ignore (M.run_string ~telemetry:tl t src);
+    Tel.summary tl
+  in
+  let a = summarize "(list 1 2 3)" in
+  let b = summarize "((lambda (f) (f 1)) (lambda (x) x))" in
+  let m = Tel.merge_summaries [ a; b ] in
+  Alcotest.(check int) "steps sum" (a.Tel.steps + b.Tel.steps) m.Tel.steps;
+  Alcotest.(check int) "alloc words sum"
+    (a.Tel.alloc_words + b.Tel.alloc_words)
+    m.Tel.alloc_words;
+  Alcotest.(check int) "peak is max"
+    (max a.Tel.peak_space b.Tel.peak_space)
+    m.Tel.peak_space;
+  Alcotest.(check int) "depth is max"
+    (max a.Tel.max_cont_depth b.Tel.max_cont_depth)
+    m.Tel.max_cont_depth;
+  let count kind s =
+    match List.assoc_opt kind s.Tel.allocations with Some c -> c | None -> 0
+  in
+  List.iter
+    (fun kind ->
+      Alcotest.(check int)
+        (Tel.alloc_kind_name kind ^ " allocations sum")
+        (count kind a + count kind b) (count kind m))
+    Tel.all_alloc_kinds;
+  Alcotest.(check bool) "empty merges to zero" true
+    (Tel.merge_summaries [] = Tel.merge_summaries []);
+  Alcotest.(check int) "zero steps" 0 (Tel.merge_summaries []).Tel.steps;
+  let stuck = { a with Tel.stuck = Some "first" } in
+  let stuck2 = { b with Tel.stuck = Some "second" } in
+  Alcotest.(check bool) "first stuck wins" true
+    ((Tel.merge_summaries [ stuck; stuck2 ]).Tel.stuck = Some "first")
+
+(* ------------------------------------------------------------------ *)
+(* fault-plan fenceposts *)
+
+let test_gc_every_fencepost () =
+  (* gc_every:5 over steps 0..24 fires at 5,10,15,20 — exactly 4 times,
+     never at step 0 *)
+  let cursor = Res.Fault.start (Res.Fault.make ~gc_every:5 ()) in
+  let fired = ref [] in
+  for step = 0 to 24 do
+    if Res.Fault.force_gc cursor ~step then fired := step :: !fired
+  done;
+  Alcotest.(check (list int)) "fires at k, 2k, ..." [ 5; 10; 15; 20 ]
+    (List.rev !fired)
+
+let test_gc_seed_zero_not_degenerate () =
+  (* seed 0 must normalize to a nonzero LCG state and still produce a
+     schedule (roughly one step in eight) *)
+  let fires seed =
+    let cursor = Res.Fault.start (Res.Fault.make ~gc_seed:seed ()) in
+    let n = ref 0 in
+    for step = 0 to 799 do
+      if Res.Fault.force_gc cursor ~step then incr n
+    done;
+    !n
+  in
+  Alcotest.(check bool) "seed 0 fires" true (fires 0 > 10);
+  Alcotest.(check bool) "seed 7 fires" true (fires 7 > 10)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "earliest exception wins" `Quick
+            test_pool_earliest_exception;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "keys unambiguous" `Quick
+            test_cache_keys_unambiguous;
+          Alcotest.test_case "persists to disk" `Quick test_cache_persists;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "parallel = serial" `Quick
+            test_sweep_parallel_equals_serial;
+          Alcotest.test_case "cache-warm replay" `Quick test_sweep_cache_warm;
+          Alcotest.test_case "measurement json roundtrip" `Quick
+            test_measurement_json_roundtrip;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "tables byte-identical across jobs" `Slow
+            test_tables_jobs_invariant;
+          Alcotest.test_case "starved fits degrade" `Quick
+            test_starved_fits_degrade;
+        ] );
+      ( "telemetry",
+        [
+          QCheck_alcotest.to_alcotest test_profile_invariant;
+          Alcotest.test_case "merge summaries" `Quick test_merge_summaries;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "gc_every fencepost" `Quick
+            test_gc_every_fencepost;
+          Alcotest.test_case "gc_seed 0 not degenerate" `Quick
+            test_gc_seed_zero_not_degenerate;
+        ] );
+    ]
