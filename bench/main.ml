@@ -23,11 +23,14 @@ module Expand = Tailspace_expander.Expand
 (* ------------------------------------------------------------------ *)
 (* Timing benches                                                      *)
 
-let stage_run ~variant program n =
+let stage_run_with config program n =
   (* machine creation is hoisted out of the timed closure *)
-  let t = M.create ~variant () in
+  let t = M.create_with config in
   Staged.stage (fun () ->
-      ignore (M.run_program t ~program ~input:(R.input_expr n)))
+      ignore (M.exec_program t ~program ~input:(R.input_expr n)))
+
+let stage_run ~variant program n =
+  stage_run_with (M.Config.make ~variant ()) program n
 
 let variant_benches =
   let program = Corpus.program (Option.get (Corpus.find "fib-naive")) in
@@ -50,34 +53,45 @@ let experiment_benches =
     Test.make ~name:"thm25.separator-stack"
       (stage_run ~variant:M.Stack sep 12);
     Test.make ~name:"thm24.chain-countdown"
-      (let machines = List.map (fun v -> M.create ~variant:v ()) M.all_variants in
+      (let machines =
+         List.map
+           (fun v -> M.create_with (M.Config.make ~variant:v ()))
+           M.all_variants
+       in
        Staged.stage (fun () ->
            List.iter
              (fun t ->
                ignore
-                 (M.run_program t ~program:countdown ~input:(R.input_expr 20)))
+                 (M.exec_program t ~program:countdown ~input:(R.input_expr 20)))
              machines));
     Test.make ~name:"thm26.pk-linked"
-      (let t = M.create ~variant:M.Tail () in
+      (let t = M.create_with (M.Config.make ~variant:M.Tail ()) in
+       let opts = M.Run_opts.make ~measure_linked:true () in
        Staged.stage (fun () ->
            ignore
-             (M.run_program ~measure_linked:true t ~program:pk
-                ~input:(R.input_expr 8))));
+             (M.exec_program ~opts t ~program:pk ~input:(R.input_expr 8))));
     Test.make ~name:"sec4.find-leftmost"
       (stage_run ~variant:M.Tail right 32);
     Test.make ~name:"cor20.all-variants"
-      (let machines = List.map (fun v -> M.create ~variant:v ()) M.all_variants in
+      (let machines =
+         List.map
+           (fun v -> M.create_with (M.Config.make ~variant:v ()))
+           M.all_variants
+       in
        let program = Corpus.program (Option.get (Corpus.find "even-odd")) in
        Staged.stage (fun () ->
            List.iter
              (fun t ->
-               ignore (M.run_program t ~program ~input:(R.input_expr 30)))
+               ignore (M.exec_program t ~program ~input:(R.input_expr 30)))
              machines));
     Test.make ~name:"cps.tail" (stage_run ~variant:M.Tail cps 64);
     Test.make ~name:"ablation.literal-gc"
-      (let t = M.create ~variant:M.Gc ~return_env:M.Register_env () in
+      (let t =
+         M.create_with
+           (M.Config.make ~variant:M.Gc ~return_env:M.Register_env ())
+       in
        Staged.stage (fun () ->
-           ignore (M.run_program t ~program:sep ~input:(R.input_expr 12))));
+           ignore (M.exec_program t ~program:sep ~input:(R.input_expr 12))));
     Test.make ~name:"sanity.secd"
       (let program = Corpus.program (Option.get (Corpus.find "countdown")) in
        Staged.stage (fun () ->
@@ -92,15 +106,15 @@ let experiment_benches =
 let telemetry_benches =
   let module Tel = Tailspace_telemetry.Telemetry in
   let program = Corpus.program (Option.get (Corpus.find "countdown")) in
-  let t = M.create ~variant:M.Tail () in
+  let t = M.create_with (M.Config.make ~variant:M.Tail ()) in
   let input = R.input_expr 500 in
   [
     Test.make ~name:"off"
-      (Staged.stage (fun () -> ignore (M.run_program t ~program ~input)));
+      (Staged.stage (fun () -> ignore (M.exec_program t ~program ~input)));
     Test.make ~name:"counters"
       (Staged.stage (fun () ->
-           let tl = Tel.create () in
-           ignore (M.run_program ~telemetry:tl t ~program ~input)));
+           let opts = M.Run_opts.make ~telemetry:(Tel.create ()) () in
+           ignore (M.exec_program ~opts t ~program ~input)));
     Test.make ~name:"events+profile"
       (Staged.stage (fun () ->
            let tl =
@@ -109,8 +123,48 @@ let telemetry_benches =
                ~profile:(Tel.Profile.create ~stride:16 ())
                ()
            in
-           ignore (M.run_program ~telemetry:tl t ~program ~input)));
+           let opts = M.Run_opts.make ~telemetry:tl () in
+           ignore (M.exec_program ~opts t ~program ~input)));
   ]
+
+(* The annotation pass exists to make the I_sfs/I_free restriction sets
+   a table lookup instead of a per-push free-variable traversal; this
+   group times the same run with the pass on and off, on the variants
+   that consult the sets every push. The paired names make the speedup
+   visible in the report. *)
+let annot_benches =
+  let sfs_heavy = Expand.program_of_string Families.separator_evlis_sfs in
+  (* a many-argument iteration: every call pushes arity-many frames, so
+     the per-push suffix unions the pass precomputes dominate the
+     unannotated step loop *)
+  let manyarg =
+    Expand.program_of_string
+      {|
+(define (f a b c d e g h) (if (zero? a) 0 (f (- a 1) b c d e g h)))
+(lambda (n) (f n 1 2 3 4 5 6))
+|}
+  in
+  List.concat_map
+    (fun (vname, variant) ->
+      [
+        Test.make
+          ~name:(vname ^ ".separator.annot")
+          (stage_run_with (M.Config.make ~variant ()) sfs_heavy 48);
+        Test.make
+          ~name:(vname ^ ".separator.no-annot")
+          (stage_run_with
+             (M.Config.make ~variant ~annotate:false ())
+             sfs_heavy 48);
+        Test.make
+          ~name:(vname ^ ".manyarg.annot")
+          (stage_run_with (M.Config.make ~variant ()) manyarg 2000);
+        Test.make
+          ~name:(vname ^ ".manyarg.no-annot")
+          (stage_run_with
+             (M.Config.make ~variant ~annotate:false ())
+             manyarg 2000);
+      ])
+    [ ("sfs", M.Sfs); ("free", M.Free) ]
 
 let run_benches () =
   let tests =
@@ -119,6 +173,7 @@ let run_benches () =
         Test.make_grouped ~name:"experiments" experiment_benches;
         Test.make_grouped ~name:"variants" variant_benches;
         Test.make_grouped ~name:"telemetry" telemetry_benches;
+        Test.make_grouped ~name:"annot" annot_benches;
       ]
   in
   let cfg =

@@ -207,6 +207,15 @@ let linked_arg =
   let doc = "Also measure the linked-environment space model (Figure 8)." in
   Arg.(value & flag & info [ "linked" ] ~doc)
 
+let no_annot_arg =
+  let doc =
+    "Disable the static annotation pass (precomputed per-node free-variable \
+     sets and tail positions) and fall back to on-the-fly free-variable \
+     computation. Observables are identical either way (oracle-checked); \
+     this is the escape hatch for benchmarking the pass itself."
+  in
+  Arg.(value & flag & info [ "no-annot" ] ~doc)
+
 let trace_arg =
   let doc = "Print a one-line description of the first $(docv) machine steps." in
   Arg.(value & opt int 0 & info [ "trace" ] ~docv:"STEPS" ~doc)
@@ -282,16 +291,18 @@ let run_cmd =
     in
     Arg.(value & opt int 16 & info [ "ring" ] ~docv:"K" ~doc)
   in
-  let run file expr input variant perm stack_policy fuel timeout space_budget
-      output_cap linked trace_steps profile json ring =
+  let run file expr input variant perm stack_policy no_annot fuel timeout
+      space_budget output_cap linked trace_steps profile json ring =
     with_program file expr @@ fun program_name program ->
     let budget =
       make_budget ?timeout_s:timeout ?space_words:space_budget
         ?output_bytes:output_cap ()
     in
-    let t = M.create ~variant ~perm ~stack_policy () in
-    let telemetry = Tel.create ~ring () in
-    let trace =
+    let t =
+      M.create_with
+        (M.Config.make ~variant ~perm ~stack_policy ~annotate:(not no_annot) ())
+    in
+    let config_sink =
       if trace_steps <= 0 then None
       else
         Some
@@ -300,22 +311,26 @@ let run_cmd =
               Format.printf "; %6d %s@." step description)
     in
     let profile_channel = Option.map open_out profile in
-    let on_step =
+    (* the step,space CSV profile is fed from the telemetry Step events,
+       which the machine emits once per transition *)
+    let sink =
       Option.map
-        (fun oc ~steps ~space -> Printf.fprintf oc "%d,%d\n" steps space)
+        (fun oc -> function
+          | Tel.Step { step; space; _ } -> Printf.fprintf oc "%d,%d\n" step space
+          | _ -> ())
         profile_channel
+    in
+    let telemetry = Tel.create ?sink ?config_sink ~ring () in
+    let opts =
+      M.Run_opts.make ~fuel ~budget ~measure_linked:linked ~telemetry ()
     in
     let result =
       Fun.protect
         ~finally:(fun () -> Option.iter close_out profile_channel)
         (fun () ->
           match input with
-          | Some n ->
-              M.run_program ~fuel ~budget ~measure_linked:linked ~telemetry
-                ?on_step ?trace t ~program ~input:(R.input_expr n)
-          | None ->
-              M.run ~fuel ~budget ~measure_linked:linked ~telemetry ?on_step
-                ?trace t program)
+          | Some n -> M.exec_program ~opts t ~program ~input:(R.input_expr n)
+          | None -> M.exec ~opts t program)
     in
     if json then
       print_endline
@@ -345,9 +360,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ file_pos_arg $ expr_arg $ input_arg $ variant_arg $ perm_arg
-      $ stack_policy_arg $ fuel_arg $ timeout_arg $ space_budget_arg
-      $ output_cap_arg $ linked_arg $ trace_arg $ profile_arg $ json_arg
-      $ ring_arg)
+      $ stack_policy_arg $ no_annot_arg $ fuel_arg $ timeout_arg
+      $ space_budget_arg $ output_cap_arg $ linked_arg $ trace_arg
+      $ profile_arg $ json_arg $ ring_arg)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -374,14 +389,17 @@ let profile_cmd =
     in
     Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
   in
-  let profile file expr input variant perm stack_policy fuel timeout
+  let profile file expr input variant perm stack_policy no_annot fuel timeout
       space_budget output_cap linked csv stride events =
     with_program file expr @@ fun program_name program ->
     let budget =
       make_budget ?timeout_s:timeout ?space_words:space_budget
         ?output_bytes:output_cap ()
     in
-    let t = M.create ~variant ~perm ~stack_policy () in
+    let t =
+      M.create_with
+        (M.Config.make ~variant ~perm ~stack_policy ~annotate:(not no_annot) ())
+    in
     let prof = Tel.Profile.create ~stride () in
     let events_channel = Option.map open_out events in
     let sink =
@@ -393,16 +411,16 @@ let profile_cmd =
         events_channel
     in
     let telemetry = Tel.create ?sink ~ring:16 ~profile:prof () in
+    let opts =
+      M.Run_opts.make ~fuel ~budget ~measure_linked:linked ~telemetry ()
+    in
     let result =
       Fun.protect
         ~finally:(fun () -> Option.iter close_out events_channel)
         (fun () ->
           match input with
-          | Some n ->
-              M.run_program ~fuel ~budget ~measure_linked:linked ~telemetry t
-                ~program ~input:(R.input_expr n)
-          | None ->
-              M.run ~fuel ~budget ~measure_linked:linked ~telemetry t program)
+          | Some n -> M.exec_program ~opts t ~program ~input:(R.input_expr n)
+          | None -> M.exec ~opts t program)
     in
     let csv_path =
       match csv with
@@ -432,8 +450,9 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
       const profile $ file_pos_arg $ expr_arg $ input_arg $ variant_arg
-      $ perm_arg $ stack_policy_arg $ fuel_arg $ timeout_arg $ space_budget_arg
-      $ output_cap_arg $ linked_arg $ csv_arg $ stride_arg $ events_arg)
+      $ perm_arg $ stack_policy_arg $ no_annot_arg $ fuel_arg $ timeout_arg
+      $ space_budget_arg $ output_cap_arg $ linked_arg $ csv_arg $ stride_arg
+      $ events_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
@@ -489,8 +508,8 @@ let bench_cmd =
           match Tel.summary_to_json s with Json.Obj fs -> fs | _ -> [])
       | None -> [])
   in
-  let bench file expr name_opt ns variant perm stack_policy fuel timeout
-      space_budget output_cap linked json keep_going jobs cache_dir
+  let bench file expr name_opt ns variant perm stack_policy no_annot fuel
+      timeout space_budget output_cap linked json keep_going jobs cache_dir
       baseline_out =
     (* [cache_source] is the program's identity in the cache key: the
        corpus tag, or the source text itself for files and inline
@@ -525,19 +544,25 @@ let bench_cmd =
     let cache = Option.map (fun dir -> Mcache.create ~dir ()) cache_dir in
     let cache_source = Option.map (fun _ -> cache_source) cache in
     let started = Res.Clock.now () in
+    let config =
+      M.Config.make ~variant ~perm ~stack_policy ~annotate:(not no_annot) ()
+    in
     let outcome =
       Pool.with_pool ?jobs (fun pool ->
           if keep_going then
             `Supervised
               (R.sweep_supervised ?pool ?cache ?cache_source
-                 ~budget:{ budget with Res.Budget.fuel = Some fuel }
-                 ~measure_linked:linked ~collect_telemetry:true ~perm
-                 ~stack_policy ~variant ~program ~ns ())
+                 ~opts:
+                   (M.Run_opts.make
+                      ~budget:{ budget with Res.Budget.fuel = Some fuel }
+                      ~measure_linked:linked ())
+                 ~collect_telemetry:true ~config ~program ~ns ())
           else
             `Plain
-              (R.sweep ?pool ?cache ?cache_source ~fuel ~budget
-                 ~measure_linked:linked ~collect_telemetry:true ~perm
-                 ~stack_policy ~variant ~program ~ns ()))
+              (R.sweep ?pool ?cache ?cache_source
+                 ~opts:
+                   (M.Run_opts.make ~fuel ~budget ~measure_linked:linked ())
+                 ~collect_telemetry:true ~config ~program ~ns ()))
     in
     let wall_s = Res.Clock.now () -. started in
     (match cache with
@@ -677,9 +702,10 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const bench $ file_pos_arg $ expr_arg $ corpus_name_arg $ ns_arg
-      $ variant_arg $ perm_arg $ stack_policy_arg $ fuel_arg $ timeout_arg
-      $ space_budget_arg $ output_cap_arg $ linked_arg $ json_arg
-      $ keep_going_arg $ jobs_arg $ cache_dir_arg $ baseline_out_arg)
+      $ variant_arg $ perm_arg $ stack_policy_arg $ no_annot_arg $ fuel_arg
+      $ timeout_arg $ space_budget_arg $ output_cap_arg $ linked_arg
+      $ json_arg $ keep_going_arg $ jobs_arg $ cache_dir_arg
+      $ baseline_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -741,7 +767,9 @@ let corpus_cmd =
               | None, [] -> 0
             in
             let m =
-              R.run_once ~variant ~program:(Corpus.program e) ~n ()
+              R.run_once
+                ~config:(M.Config.make ~variant ())
+                ~program:(Corpus.program e) ~n ()
             in
             (match m.R.status with
             | R.Answer a -> Format.printf "%s@." a
@@ -830,7 +858,10 @@ let faults_cmd =
                 (fun plan ->
                   let cell =
                     match
-                      R.run_once ~fuel ~fault:plan ~variant ~program ~n ()
+                      R.run_once
+                        ~opts:(M.Run_opts.make ~fuel ~fault:plan ())
+                        ~config:(M.Config.make ~variant ())
+                        ~program ~n ()
                     with
                     | m ->
                         let status =

@@ -47,7 +47,10 @@ let () =
   let program = Expand.program_of_string solver in
   let show variant n =
     let m =
-      Runner.run_once ~variant ~gc_policy:`Approximate ~program ~n ()
+      Runner.run_once
+        ~opts:(Machine.Run_opts.make ~gc_policy:`Approximate ())
+        ~config:(Machine.Config.make ~variant ())
+        ~program ~n ()
     in
     match m.Runner.status with
     | Runner.Answer a ->

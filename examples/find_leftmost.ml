@@ -14,7 +14,12 @@ module Expand = Tailspace_expander.Expand
 
 let traversal_overhead variant spine_traverse spine_build n =
   let measure program =
-    let m = Runner.run_once ~variant ~program:(Expand.program_of_string program) ~n () in
+    let m =
+      Runner.run_once
+        ~config:(Machine.Config.make ~variant ())
+        ~program:(Expand.program_of_string program)
+        ~n ()
+    in
     match m.Runner.status with
     | Runner.Answer _ -> m.Runner.space
     | Runner.Stuck msg -> failwith ("stuck: " ^ msg)

@@ -7,13 +7,13 @@ module Machine = Tailspace_core.Machine
 
 let () =
   (* A machine is a semantics variant plus policies for the paper's
-     nondeterminism. The default is I_tail: the properly tail recursive
-     reference implementation of §7. *)
-  let machine = Machine.create () in
+     nondeterminism, bundled in a Config. The default is I_tail: the
+     properly tail recursive reference implementation of §7. *)
+  let machine = Machine.create_with Machine.Config.default in
 
   (* Full Scheme goes in; the expander lowers it to Core Scheme. *)
   let result =
-    Machine.run_string machine
+    Machine.exec_string machine
       {|
         (define (sum-to n acc)
           (if (zero? n) acc (sum-to (- n 1) (+ acc n))))
@@ -37,9 +37,11 @@ let () =
 
   (* The same loop under the improperly tail recursive machine I_gc
      pushes a return frame for every call, so its peak grows with n. *)
-  let improper = Machine.create ~variant:Machine.Gc () in
+  let improper =
+    Machine.create_with (Machine.Config.make ~variant:Machine.Gc ())
+  in
   let r2 =
-    Machine.run_string improper
+    Machine.exec_string improper
       {|
         (define (sum-to n acc)
           (if (zero? n) acc (sum-to (- n 1) (+ acc n))))

@@ -27,7 +27,10 @@ let () =
         List.map
           (fun variant ->
             let ms =
-              Runner.sweep ~variant ~program ~ns ~gc_policy:`Approximate ()
+              Runner.sweep
+                ~opts:(Machine.Run_opts.make ~gc_policy:`Approximate ())
+                ~config:(Machine.Config.make ~variant ())
+                ~program ~ns ()
             in
             Machine.variant_name variant
             :: List.map

@@ -1,0 +1,183 @@
+module Ast = Tailspace_ast.Ast
+module Iset = Ast.Iset
+
+type tail_status = Tail | Nontail | Both
+
+type call_info = {
+  elems : Iset.t array;
+  ltr_first : Iset.t;
+  ltr_rest : Iset.t list;
+  rtl_first : Iset.t;
+  rtl_rest : Iset.t list;
+}
+
+(* [seen_tail]/[seen_nontail] track which polarities a node has been
+   visited under; [tail] is derived from them. A node flips to [Both] at
+   most once, so each node is walked at most twice and the whole pass
+   stays O(|P|). *)
+type node = {
+  fv : Iset.t;
+  mutable tail : tail_status;
+  mutable seen_tail : bool;
+  mutable seen_nontail : bool;
+  call : call_info option;
+  branch : Iset.t option;
+}
+
+type info = {
+  fv : Iset.t;
+  tail : tail_status;
+  call : call_info option;
+  branch : Iset.t option;
+}
+
+(* Keyed by physical identity: the expander never rebuilds equal nodes
+   it could share, and structural keys would conflate distinct
+   occurrences whose tail positions differ. *)
+module Node_table = Hashtbl.Make (struct
+  type t = Ast.expr
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type t = { table : node Node_table.t; interned : (string, Iset.t) Hashtbl.t }
+
+let create () = { table = Node_table.create 256; interned = Hashtbl.create 64 }
+
+let intern t s =
+  let key = String.concat "\x00" (Iset.elements s) in
+  match Hashtbl.find_opt t.interned key with
+  | Some canonical -> canonical
+  | None ->
+      Hashtbl.add t.interned key s;
+      s
+
+(* Restriction sets for one call: [sets.(k)] = FV of subexpressions
+   [k..n-1] for suffixes, [0..k-1] for prefixes; both have the empty set
+   at the degenerate index so the frame created for the last pending
+   subexpression is restricted to nothing. *)
+let make_call_info t elems =
+  let n = Array.length elems in
+  let suffix = Array.make (n + 1) Iset.empty in
+  for k = n - 1 downto 0 do
+    suffix.(k) <- intern t (Iset.union elems.(k) suffix.(k + 1))
+  done;
+  let prefix = Array.make (n + 1) Iset.empty in
+  for k = 1 to n do
+    prefix.(k) <- intern t (Iset.union prefix.(k - 1) elems.(k - 1))
+  done;
+  (* Left-to-right evaluates indices [0; 1; ...]: when index [k] becomes
+     pending the frame keeps FV of the still-unevaluated suffix
+     [k+1..n-1]. Right-to-left evaluates [n-1; n-2; ...] and keeps the
+     prefix [0..n-k-2]. The [_rest] lists line up with the machine's
+     [remaining] list: one set per later frame, ending in the empty
+     set. *)
+  {
+    elems;
+    ltr_first = suffix.(1);
+    ltr_rest = List.init (n - 1) (fun k -> suffix.(k + 2));
+    rtl_first = prefix.(n - 1);
+    rtl_rest = List.init (n - 1) (fun k -> prefix.(n - 2 - k));
+  }
+
+let seeded_sets ci rest_indices =
+  let rec build = function
+    | [] -> (Iset.empty, [])
+    | i :: rest ->
+        let after, sets = build rest in
+        (Iset.union ci.elems.(i) after, after :: sets)
+  in
+  build rest_indices
+
+let rec walk t ~tail e =
+  match Node_table.find_opt t.table e with
+  | Some node ->
+      let fresh = if tail then not node.seen_tail else not node.seen_nontail in
+      if fresh then begin
+        if tail then node.seen_tail <- true else node.seen_nontail <- true;
+        if node.seen_tail && node.seen_nontail then node.tail <- Both;
+        (* The new polarity must reach the subtree: children whose
+           position depends on this node's may flip to [Both]. *)
+        walk_children t ~tail e
+      end
+  | None ->
+      walk_children t ~tail e;
+      let fv_of child =
+        match Node_table.find_opt t.table child with
+        | Some n -> n.fv
+        | None -> assert false
+      in
+      let fv =
+        intern t
+          (match e with
+          | Ast.Quote _ -> Iset.empty
+          | Ast.Var x -> Iset.singleton x
+          | Ast.Lambda { params; rest; body } ->
+              let bound =
+                match rest with Some r -> r :: params | None -> params
+              in
+              Iset.diff (fv_of body) (Iset.of_list bound)
+          | Ast.If (e0, e1, e2) ->
+              Iset.union (fv_of e0) (Iset.union (fv_of e1) (fv_of e2))
+          | Ast.Set (x, e0) -> Iset.add x (fv_of e0)
+          | Ast.Call (f, args) ->
+              List.fold_left
+                (fun acc a -> Iset.union acc (fv_of a))
+                (fv_of f) args)
+      in
+      let branch =
+        match e with
+        | Ast.If (_, e1, e2) ->
+            Some (intern t (Iset.union (fv_of e1) (fv_of e2)))
+        | _ -> None
+      in
+      let call =
+        match e with
+        | Ast.Call (f, args) ->
+            let elems = Array.of_list (List.map fv_of (f :: args)) in
+            Some (make_call_info t elems)
+        | _ -> None
+      in
+      Node_table.add t.table e
+        {
+          fv;
+          tail = (if tail then Tail else Nontail);
+          seen_tail = tail;
+          seen_nontail = not tail;
+          call;
+          branch;
+        }
+
+and walk_children t ~tail e =
+  match e with
+  | Ast.Quote _ | Ast.Var _ -> ()
+  | Ast.Lambda { body; _ } -> walk t ~tail:true body
+  | Ast.If (e0, e1, e2) ->
+      walk t ~tail:false e0;
+      walk t ~tail e1;
+      walk t ~tail e2
+  | Ast.Set (_, e0) -> walk t ~tail:false e0
+  | Ast.Call (f, args) ->
+      walk t ~tail:false f;
+      List.iter (walk t ~tail:false) args
+
+let record t e = walk t ~tail:false e
+
+let find t e =
+  match Node_table.find_opt t.table e with
+  | None -> None
+  | Some { fv; tail; call; branch; _ } -> Some { fv; tail; call; branch }
+
+let free_vars t e =
+  match Node_table.find_opt t.table e with
+  | None -> None
+  | Some n -> Some n.fv
+
+let tail_status t e =
+  match Node_table.find_opt t.table e with
+  | None -> None
+  | Some n -> Some n.tail
+
+let nodes t = Node_table.length t.table
+let distinct_sets t = Hashtbl.length t.interned

@@ -61,7 +61,9 @@ let rec size e =
 
 (* Free variables, memoized on physical identity: expressions are
    immutable and shared, so a node's set never changes. [Hashtbl.hash] is
-   depth-bounded (O(1)) and physical equality makes lookups exact. *)
+   depth-bounded (O(1)) and physical equality makes lookups exact. The
+   memo is per-domain ([Domain.DLS]): pool workers each get their own
+   table, so concurrent sweeps never race on a shared Hashtbl. *)
 module Node_table = Hashtbl.Make (struct
   type t = expr
 
@@ -69,31 +71,35 @@ module Node_table = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
-let fv_memo : Iset.t Node_table.t = Node_table.create 256
+let fv_memo_key : Iset.t Node_table.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Node_table.create 256)
 
-let rec free_vars e =
-  match Node_table.find_opt fv_memo e with
+let rec fv memo e =
+  match Node_table.find_opt memo e with
   | Some s -> s
   | None ->
-      let s = compute_fv e in
-      Node_table.add fv_memo e s;
+      let s = compute_fv memo e in
+      Node_table.add memo e s;
       s
 
-and compute_fv e =
+and compute_fv memo e =
   match e with
   | Quote _ -> Iset.empty
   | Var i -> Iset.singleton i
-  | Lambda l -> free_vars_lambda l
-  | If (e0, e1, e2) -> Iset.union (free_vars e0) (Iset.union (free_vars e1) (free_vars e2))
-  | Set (i, e0) -> Iset.add i (free_vars e0)
+  | Lambda l -> fv_lambda memo l
+  | If (e0, e1, e2) -> Iset.union (fv memo e0) (Iset.union (fv memo e1) (fv memo e2))
+  | Set (i, e0) -> Iset.add i (fv memo e0)
   | Call (f, args) ->
-      List.fold_left (fun acc e -> Iset.union acc (free_vars e)) (free_vars f) args
+      List.fold_left (fun acc e -> Iset.union acc (fv memo e)) (fv memo f) args
 
-and free_vars_lambda { params; rest; body } =
+and fv_lambda memo { params; rest; body } =
   let bound =
     match rest with Some r -> r :: params | None -> params
   in
-  Iset.diff (free_vars body) (Iset.of_list bound)
+  Iset.diff (fv memo body) (Iset.of_list bound)
+
+let free_vars e = fv (Domain.DLS.get fv_memo_key) e
+let free_vars_lambda l = fv_lambda (Domain.DLS.get fv_memo_key) l
 
 let free_vars_of_list es =
   List.fold_left (fun acc e -> Iset.union acc (free_vars e)) Iset.empty es

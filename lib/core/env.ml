@@ -26,14 +26,24 @@ let rebase t =
   { base = merged; over = Smap.empty; size = Smap.cardinal merged }
 
 let restrict t xs =
-  let keep m acc =
-    Smap.fold
-      (fun x l acc ->
-        if Iset.mem x xs && not (Smap.mem x acc) then Smap.add x l acc else acc)
-      m acc
-  in
-  let over = keep t.base (keep t.over Smap.empty) in
-  { base = Smap.empty; over; size = Smap.cardinal over }
+  (* Fast path: when [xs] ⊇ Dom rho the restriction is the identity —
+     common for top-level lambdas whose free variables are all
+     primitives. Returning [t] unchanged keeps its base/overlay split,
+     which is observationally equivalent (same domain, same locations,
+     same cardinal) and lets later restrictions of the same env hit this
+     path again. *)
+  let subset m = Smap.for_all (fun x _ -> Iset.mem x xs) m in
+  if subset t.over && subset t.base then t
+  else
+    let keep m acc =
+      Smap.fold
+        (fun x l acc ->
+          if Iset.mem x xs && not (Smap.mem x acc) then Smap.add x l acc
+          else acc)
+        m acc
+    in
+    let over = keep t.base (keep t.over Smap.empty) in
+    { base = Smap.empty; over; size = Smap.cardinal over }
 
 let iter f t =
   Smap.iter f t.over;

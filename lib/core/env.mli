@@ -34,7 +34,9 @@ val rebase : t -> t
 
 val restrict : t -> Tailspace_ast.Ast.Iset.t -> t
 (** [restrict rho xs] is [rho | (Dom rho ∩ xs)] — the operation the
-    [I_free]/[I_sfs] rules apply. The result is base-less. *)
+    [I_free]/[I_sfs] rules apply. When [xs ⊇ Dom rho] the restriction is
+    the identity and [rho] is returned physically unchanged (keeping its
+    base/overlay split); otherwise the result is base-less. *)
 
 val bindings : t -> (string * loc) list
 (** Shadow-aware: one pair per identifier in [Dom rho]. *)

@@ -3,6 +3,7 @@ module Expand = Tailspace_expander.Expand
 module Reader = Tailspace_sexp.Reader
 module Telemetry = Tailspace_telemetry.Telemetry
 module Resilience = Tailspace_resilience.Resilience
+module Annot = Tailspace_analysis.Annot
 open Types
 
 type variant = Tail | Gc | Stack | Evlis | Free | Sfs
@@ -30,12 +31,120 @@ type perm_policy = Left_to_right | Right_to_left | Seeded of int
 type stack_policy = Algol | Safe_deletion
 type return_env = Closure_env | Register_env
 
+module Config = struct
+  module Json = Telemetry.Json
+
+  type t = {
+    variant : variant;
+    perm : perm_policy;
+    stack_policy : stack_policy;
+    return_env : return_env;
+    evlis_drop_at_creation : bool;
+    seed : int;
+    annotate : bool;
+  }
+
+  let default =
+    {
+      variant = Tail;
+      perm = Left_to_right;
+      stack_policy = Safe_deletion;
+      return_env = Closure_env;
+      evlis_drop_at_creation = true;
+      seed = 24054;
+      annotate = true;
+    }
+
+  let make ?(variant = default.variant) ?(perm = default.perm)
+      ?(stack_policy = default.stack_policy) ?(return_env = default.return_env)
+      ?(evlis_drop_at_creation = default.evlis_drop_at_creation)
+      ?(seed = default.seed) ?(annotate = default.annotate) () =
+    { variant; perm; stack_policy; return_env; evlis_drop_at_creation; seed;
+      annotate }
+
+  let perm_name = function
+    | Left_to_right -> "ltr"
+    | Right_to_left -> "rtl"
+    | Seeded s -> "seeded:" ^ string_of_int s
+
+  let perm_of_name s =
+    match s with
+    | "ltr" -> Some Left_to_right
+    | "rtl" -> Some Right_to_left
+    | _ -> (
+        match String.index_opt s ':' with
+        | Some i
+          when String.sub s 0 i = "seeded" -> (
+            match
+              int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+            with
+            | Some seed -> Some (Seeded seed)
+            | None -> None)
+        | _ -> None)
+
+  let stack_policy_name = function
+    | Algol -> "algol"
+    | Safe_deletion -> "safe"
+
+  let stack_policy_of_name = function
+    | "algol" -> Some Algol
+    | "safe" -> Some Safe_deletion
+    | _ -> None
+
+  let return_env_name = function
+    | Closure_env -> "closure"
+    | Register_env -> "register"
+
+  let return_env_of_name = function
+    | "closure" -> Some Closure_env
+    | "register" -> Some Register_env
+    | _ -> None
+
+  let to_json t =
+    Json.Obj
+      [
+        ("variant", Json.Str (variant_name t.variant));
+        ("perm", Json.Str (perm_name t.perm));
+        ("stack_policy", Json.Str (stack_policy_name t.stack_policy));
+        ("return_env", Json.Str (return_env_name t.return_env));
+        ("evlis_drop_at_creation", Json.Bool t.evlis_drop_at_creation);
+        ("seed", Json.Int t.seed);
+        ("annotate", Json.Bool t.annotate);
+      ]
+
+  let of_json json =
+    let ( let* ) = Result.bind in
+    let field name decode =
+      match Json.member name json with
+      | None -> Error (Printf.sprintf "config: missing field %S" name)
+      | Some v -> (
+          match decode v with
+          | Some x -> Ok x
+          | None -> Error (Printf.sprintf "config: bad field %S" name))
+    in
+    let str decode = function Json.Str s -> decode s | _ -> None in
+    let bool = function Json.Bool b -> Some b | _ -> None in
+    let int = function Json.Int i -> Some i | _ -> None in
+    let* variant = field "variant" (str variant_of_name) in
+    let* perm = field "perm" (str perm_of_name) in
+    let* stack_policy = field "stack_policy" (str stack_policy_of_name) in
+    let* return_env = field "return_env" (str return_env_of_name) in
+    let* evlis_drop_at_creation = field "evlis_drop_at_creation" bool in
+    let* seed = field "seed" int in
+    let* annotate = field "annotate" bool in
+    Ok
+      { variant; perm; stack_policy; return_env; evlis_drop_at_creation; seed;
+        annotate }
+end
+
 type t = {
   variant : variant;
   perm : perm_policy;
   stack_policy : stack_policy;
   return_env : return_env;
   evlis_drop_at_creation : bool;
+  seed : int;
+  annot : Annot.t option;
   ctx : Prim.ctx;
   mutable genv : Env.t;
   mutable gstore : Store.t;
@@ -43,6 +152,19 @@ type t = {
 
 let variant t = t.variant
 let initial t = (t.genv, t.gstore)
+
+let config t : Config.t =
+  {
+    variant = t.variant;
+    perm = t.perm;
+    stack_policy = t.stack_policy;
+    return_env = t.return_env;
+    evlis_drop_at_creation = t.evlis_drop_at_creation;
+    seed = t.seed;
+    annotate = Option.is_some t.annot;
+  }
+
+let annotations t = t.annot
 
 type config = {
   control : [ `Expr of Ast.expr | `Value of value ];
@@ -81,6 +203,43 @@ let eval_order t n =
       Array.to_list a
 
 (* ------------------------------------------------------------------ *)
+(* Annotation lookups. Every dynamic free-variable computation below
+   has a static twin in [Annot]; each helper falls back to the dynamic
+   computation for nodes the pre-pass never saw, so the machine is
+   total with or without annotations.                                  *)
+
+let fv_lambda t e lam =
+  match t.annot with
+  | None -> Ast.free_vars_lambda lam
+  | Some a -> (
+      match Annot.free_vars a e with
+      | Some fv -> fv
+      | None -> Ast.free_vars_lambda lam)
+
+let fv_branches t e e1 e2 =
+  match t.annot with
+  | None -> Ast.Iset.union (Ast.free_vars e1) (Ast.free_vars e2)
+  | Some a -> (
+      match Annot.find a e with
+      | Some { Annot.branch = Some s; _ } -> s
+      | _ -> Ast.Iset.union (Ast.free_vars e1) (Ast.free_vars e2))
+
+(* The I_sfs push sets for a call: the restriction for the frame created
+   now plus one set per later frame (threaded through the continuation
+   as [fv_rest]). [None] means "recompute dynamically". *)
+let fv_call t e rest_indices =
+  match t.annot with
+  | None -> None
+  | Some a -> (
+      match Annot.find a e with
+      | Some { Annot.call = Some ci; _ } -> (
+          match t.perm with
+          | Left_to_right -> Some (ci.Annot.ltr_first, ci.Annot.ltr_rest)
+          | Right_to_left -> Some (ci.Annot.rtl_first, ci.Annot.rtl_rest)
+          | Seeded _ -> Some (Annot.seeded_sets ci rest_indices))
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
 (* Reduction rules (configurations whose first component is an
    expression).                                                        *)
 
@@ -103,7 +262,7 @@ let step_expr t config e =
   | Ast.Lambda lam ->
       let captured =
         match t.variant with
-        | Free | Sfs -> Env.restrict env (Ast.free_vars_lambda lam)
+        | Free | Sfs -> Env.restrict env (fv_lambda t e lam)
         | Tail | Gc | Stack | Evlis -> env
       in
       let store, tag = Store.alloc store Unspecified in
@@ -111,9 +270,7 @@ let step_expr t config e =
   | Ast.If (e0, e1, e2) ->
       let saved =
         match t.variant with
-        | Sfs ->
-            Env.restrict env
-              (Ast.Iset.union (Ast.free_vars e1) (Ast.free_vars e2))
+        | Sfs -> Env.restrict env (fv_branches t e e1 e2)
         | Tail | Gc | Stack | Evlis | Free -> env
       in
       Next
@@ -146,22 +303,28 @@ let step_expr t config e =
              subexpression, so the frame is born empty — exactly what the
              I_sfs restriction to FV(no remaining exprs) = {} gives, and
              what Theorem 25's tail/evlis separator requires. *)
-          let frame_env =
+          let frame_env, fv_rest =
             match t.variant with
-            | Sfs ->
-                Env.restrict env (Ast.free_vars_of_list (List.map snd remaining))
+            | Sfs -> (
+                match fv_call t e rest_indices with
+                | Some (first, rest) -> (Env.restrict env first, rest)
+                | None ->
+                    ( Env.restrict env
+                        (Ast.free_vars_of_list (List.map snd remaining)),
+                      [] ))
             | Evlis ->
-                if remaining = [] && t.evlis_drop_at_creation then Env.empty
-                else env
-            | Tail | Gc | Stack | Free -> env
+                ( (if remaining = [] && t.evlis_drop_at_creation then Env.empty
+                   else env),
+                  [] )
+            | Tail | Gc | Stack | Free -> (env, [])
           in
           Next
             {
               config with
               control = `Expr exprs.(i0);
               cont =
-                push ~pending:i0 ~remaining ~evaluated:[] ~env:frame_env
-                  ~next:cont;
+                push ~fv_rest ~pending:i0 ~remaining ~evaluated:[]
+                  ~env:frame_env ~next:cont ();
             })
 
 (* ------------------------------------------------------------------ *)
@@ -342,16 +505,24 @@ let step_value t config v =
                   cont = next;
                   store = Store.set store l v;
                 }))
-  | Push { pending; remaining; evaluated; env; next; _ } -> (
+  | Push { pending; remaining; evaluated; fv_rest; env; next; _ } -> (
       let evaluated = (pending, v) :: evaluated in
       match remaining with
       | (j, e) :: rest ->
-          let frame_env =
+          let frame_env, fv_rest' =
             match t.variant with
-            | Sfs ->
-                Env.restrict env (Ast.free_vars_of_list (List.map snd rest))
-            | Evlis -> if rest = [] then Env.empty else env
-            | Tail | Gc | Stack | Free -> env
+            | Sfs -> (
+                (* The precomputed sets line up with [remaining]: the
+                   head is this frame's restriction, the tail travels on
+                   for the frames after it. *)
+                match fv_rest with
+                | s :: srest -> (Env.restrict env s, srest)
+                | [] ->
+                    ( Env.restrict env
+                        (Ast.free_vars_of_list (List.map snd rest)),
+                      [] ))
+            | Evlis -> ((if rest = [] then Env.empty else env), [])
+            | Tail | Gc | Stack | Free -> (env, [])
           in
           Next
             {
@@ -359,7 +530,8 @@ let step_value t config v =
               control = `Expr e;
               env;
               cont =
-                push ~pending:j ~remaining:rest ~evaluated ~env:frame_env ~next;
+                push ~fv_rest:fv_rest' ~pending:j ~remaining:rest ~evaluated
+                  ~env:frame_env ~next ();
             }
       | [] -> (
           let in_order =
@@ -410,6 +582,10 @@ let collect config =
 (* Evaluation without measurement (prelude, tests).                    *)
 
 let eval_in t ~env ~store expr =
+  (* Recording is incremental on physical identity, so re-evaluating a
+     program (or a fresh [Call] wrapper around one) only annotates the
+     genuinely new nodes. *)
+  (match t.annot with Some a -> Annot.record a expr | None -> ());
   let rec loop config fuel =
     if fuel <= 0 then Error "out of fuel"
     else
@@ -514,17 +690,17 @@ let prelude_source =
 (define (force promise) (promise))
 |scheme}
 
-let create ?(variant = Tail) ?(perm = Left_to_right)
-    ?(stack_policy = Safe_deletion) ?(return_env = Closure_env)
-    ?(evlis_drop_at_creation = true) ?(seed = 24054) () =
+let create_with (cfg : Config.t) =
   let t =
     {
-      variant;
-      perm;
-      stack_policy;
-      return_env;
-      evlis_drop_at_creation;
-      ctx = Prim.make_ctx ~seed ();
+      variant = cfg.variant;
+      perm = cfg.perm;
+      stack_policy = cfg.stack_policy;
+      return_env = cfg.return_env;
+      evlis_drop_at_creation = cfg.evlis_drop_at_creation;
+      seed = cfg.seed;
+      annot = (if cfg.annotate then Some (Annot.create ()) else None);
+      ctx = Prim.make_ctx ~seed:cfg.seed ();
       genv = Env.empty;
       gstore = Store.empty;
     }
@@ -552,6 +728,12 @@ let create ?(variant = Tail) ?(perm = Left_to_right)
      collector traces the globals once per collection (see Env). *)
   t.genv <- Env.rebase t.genv;
   t
+
+let create ?variant ?perm ?stack_policy ?return_env ?evlis_drop_at_creation
+    ?seed () =
+  create_with
+    (Config.make ?variant ?perm ?stack_policy ?return_env
+       ?evlis_drop_at_creation ?seed ())
 
 (* ------------------------------------------------------------------ *)
 (* Measured runs.                                                      *)
@@ -602,8 +784,35 @@ let alloc_kind_of_value : value -> Telemetry.alloc_kind = function
   | Closure _ -> Telemetry.K_closure
   | Escape _ -> Telemetry.K_escape
 
+module Run_opts = struct
+  type t = {
+    fuel : int;
+    budget : Resilience.Budget.t option;
+    fault : Resilience.Fault.plan option;
+    measure_linked : bool;
+    gc_policy : [ `Exact | `Approximate ];
+    telemetry : Telemetry.t option;
+  }
+
+  let default =
+    {
+      fuel = 20_000_000;
+      budget = None;
+      fault = None;
+      measure_linked = false;
+      gc_policy = `Exact;
+      telemetry = None;
+    }
+
+  let make ?(fuel = default.fuel) ?budget ?fault
+      ?(measure_linked = default.measure_linked)
+      ?(gc_policy = default.gc_policy) ?telemetry () =
+    { fuel; budget; fault; measure_linked; gc_policy; telemetry }
+end
+
 let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
     ?(gc_policy = `Exact) ?telemetry ?on_step ?trace t expr =
+  (match t.annot with Some a -> Annot.record a expr | None -> ());
   Buffer.clear t.ctx.output;
   let budget = Option.value budget ~default:Resilience.Budget.unlimited in
   let guard = Resilience.Guard.start ~default_fuel:fuel budget in
@@ -805,3 +1014,16 @@ let run_string ?fuel ?budget ?fault ?measure_linked ?gc_policy ?telemetry
   run ?fuel ?budget ?fault ?measure_linked ?gc_policy ?telemetry ?on_step
     ?trace t
     (Expand.program_of_string source)
+
+(* The record-argument entry points; [run]/[run_program]/[run_string]
+   above are their deprecated labelled-argument shims. *)
+
+let exec ?(opts = Run_opts.default) t expr =
+  run ~fuel:opts.fuel ?budget:opts.budget ?fault:opts.fault
+    ~measure_linked:opts.measure_linked ~gc_policy:opts.gc_policy
+    ?telemetry:opts.telemetry t expr
+
+let exec_program ?opts t ~program ~input =
+  exec ?opts t (Ast.Call (program, [ input ]))
+
+let exec_string ?opts t source = exec ?opts t (Expand.program_of_string source)

@@ -43,7 +43,66 @@ type stack_policy = Algol | Safe_deletion
     See DESIGN.md, "Faithfulness notes". *)
 type return_env = Closure_env | Register_env
 
+(** The full identity of a machine: every knob {!create_with} consumes,
+    as one first-class, serializable record. Two machines built from
+    equal configs behave identically, and [to_json] is a complete,
+    canonical description — the harness derives sweep cache keys from
+    it and the CLI prints it. *)
+module Config : sig
+  type t = {
+    variant : variant;
+    perm : perm_policy;
+    stack_policy : stack_policy;
+    return_env : return_env;
+    evlis_drop_at_creation : bool;
+        (** second E8 ablation toggle: when [false], [I_evlis] only
+            drops the environment in the printed §9 push rules, so
+            nullary calls retain it and the tail/evlis separation
+            fails *)
+    seed : int;  (** LCG seed for [random] and [Seeded] permutations *)
+    annotate : bool;
+        (** precompute the {!Tailspace_analysis.Annot} side table and
+            serve the [I_free]/[I_sfs] free-variable sets from it;
+            observables are identical either way (the differential
+            oracle checks this), only per-step cost changes *)
+  }
+
+  val default : t
+  (** [Tail], [Left_to_right], [Safe_deletion], [Closure_env], [true],
+      seed 24054, annotations on. *)
+
+  val make :
+    ?variant:variant ->
+    ?perm:perm_policy ->
+    ?stack_policy:stack_policy ->
+    ?return_env:return_env ->
+    ?evlis_drop_at_creation:bool ->
+    ?seed:int ->
+    ?annotate:bool ->
+    unit ->
+    t
+  (** {!default} with the given fields replaced. *)
+
+  val perm_name : perm_policy -> string
+  (** ["ltr"], ["rtl"], ["seeded:<seed>"]. *)
+
+  val perm_of_name : string -> perm_policy option
+  val stack_policy_name : stack_policy -> string
+  val stack_policy_of_name : string -> stack_policy option
+  val return_env_name : return_env -> string
+  val return_env_of_name : string -> return_env option
+
+  val to_json : t -> Tailspace_telemetry.Telemetry.Json.t
+  val of_json : Tailspace_telemetry.Telemetry.Json.t -> (t, string) result
+  (** Inverse of {!to_json}. *)
+end
+
 type t
+
+val create_with : Config.t -> t
+(** A machine with its initial environment and store ([rho_0]/[sigma_0],
+    §12): primitives plus a Scheme-level prelude (list and vector
+    utilities) evaluated under this machine's own variant. *)
 
 val create :
   ?variant:variant ->
@@ -54,16 +113,19 @@ val create :
   ?seed:int ->
   unit ->
   t
-(** A machine with its initial environment and store ([rho_0]/[sigma_0],
-    §12): primitives plus a Scheme-level prelude (list and vector
-    utilities) evaluated under this machine's own variant.
-    [evlis_drop_at_creation] is the second E8 ablation toggle: when
-    [false], [I_evlis] only drops the environment in the printed §9 push
-    rules, so nullary calls retain it and the tail/evlis separation
-    fails. Defaults: [Tail], [Left_to_right], [Safe_deletion],
-    [Closure_env], [true], seed 24054. *)
+[@@deprecated "use Machine.create_with (Machine.Config.make ... ())"]
+(** Thin wrapper over {!create_with}: each argument defaults to its
+    {!Config.default} field (annotations on). *)
 
 val variant : t -> variant
+
+val config : t -> Config.t
+(** The configuration this machine was built with. *)
+
+val annotations : t -> Tailspace_analysis.Annot.t option
+(** The machine's annotation table ([None] when built with
+    [annotate = false]); shared with engines that want the same
+    precomputed facts. *)
 
 val initial : t -> Types.Env.t * Store.t
 (** The machine's [rho_0] and [sigma_0] (primitives + prelude), e.g. for
@@ -107,6 +169,76 @@ val alloc_kind_of_value :
 (** Telemetry classification of an allocated value (shared with the
     alternative engines so allocation counters are comparable). *)
 
+(** Everything that parameterizes one measured run, as a record — the
+    run-time mirror of {!Config}. *)
+module Run_opts : sig
+  type t = {
+    fuel : int;  (** default 20 million steps *)
+    budget : Tailspace_resilience.Resilience.Budget.t option;
+        (** resource governor: any exceeded limit ends the run with
+            [Aborted] — never an exception, never an unbounded loop. Its
+            fuel field overrides [fuel]; the space budget bounds the
+            configuration's live flat space (the machine collects before
+            judging, so the collector's laziness is not charged against
+            the program); the deadline is wall-clock from run start; the
+            output cap bounds [display]/[write] bytes *)
+    fault : Tailspace_resilience.Resilience.Fault.plan option;
+        (** deterministic fault injection: collections forced at chosen
+            steps (recorded with reason [Gc_forced]; under the [`Exact]
+            policy they cannot change the measured peak), an allocation
+            that fails ([Aborted (Injected_fault _)]), and a mid-run
+            fuel drop *)
+    measure_linked : bool;
+        (** additionally compute the linked-model peak, which forces a
+            collection at every step (slower) *)
+    gc_policy : [ `Exact | `Approximate ];
+        (** [`Exact] (default) reports the true [sup space(C_i)];
+            [`Approximate] lets tracked space overshoot the running peak
+            by 12.5% (plus 64 words) before collecting, so the reported
+            peak may underestimate the sup by that much — use it for
+            large parameter sweeps where only the growth shape
+            matters *)
+    telemetry : Tailspace_telemetry.Telemetry.t option;
+        (** observes the whole run: per-step counters and high-water
+            marks, collection events with live/freed counts and trigger
+            reason, an optional event stream and configuration sink, a
+            bounded ring buffer of recent configurations (the trace to
+            dump when a run gets {!Stuck}), and an optional
+            space-over-time profile. A run without telemetry pays
+            nothing beyond an [is-None] branch per step *)
+  }
+
+  val default : t
+
+  val make :
+    ?fuel:int ->
+    ?budget:Tailspace_resilience.Resilience.Budget.t ->
+    ?fault:Tailspace_resilience.Resilience.Fault.plan ->
+    ?measure_linked:bool ->
+    ?gc_policy:[ `Exact | `Approximate ] ->
+    ?telemetry:Tailspace_telemetry.Telemetry.t ->
+    unit ->
+    t
+  (** {!default} with the given fields replaced. *)
+end
+
+val exec : ?opts:Run_opts.t -> t -> Tailspace_ast.Ast.expr -> result
+(** Evaluate an expression from the initial configuration under
+    [opts] (default {!Run_opts.default}). *)
+
+val exec_program :
+  ?opts:Run_opts.t ->
+  t ->
+  program:Tailspace_ast.Ast.expr ->
+  input:Tailspace_ast.Ast.expr ->
+  result
+(** §12's convention: [program] evaluates to a procedure of one argument,
+    which is applied to [input]; runs [(program input)]. *)
+
+val exec_string : ?opts:Run_opts.t -> t -> string -> result
+(** Parse and expand a whole program (see
+    {!Tailspace_expander.Expand.program}) and run it. *)
+
 val run :
   ?fuel:int ->
   ?budget:Tailspace_resilience.Resilience.Budget.t ->
@@ -119,42 +251,14 @@ val run :
   t ->
   Tailspace_ast.Ast.expr ->
   result
-(** Evaluate an expression from the initial configuration.
-
-    [budget] is the resource governor: any exceeded limit ends the run
-    with [Aborted] — never an exception, never an unbounded loop. Its
-    fuel field overrides the [fuel] argument; the space budget bounds
-    the configuration's live flat space (the machine collects before
-    judging, so the collector's laziness is not charged against the
-    program); the deadline is wall-clock from run start; the output cap
-    bounds [display]/[write] bytes.
-
-    [fault] is a deterministic fault-injection plan: collections forced
-    at chosen steps (recorded with reason [Gc_forced]; under the
-    [`Exact] policy they cannot change the measured peak), an allocation
-    that fails ([Aborted (Injected_fault _)]), and a mid-run fuel drop.
-    [measure_linked] additionally computes the linked-model peak, which
-    forces a collection at every step (slower). [`Exact] (default)
-    reports the true [sup space(C_i)]; [`Approximate] lets tracked space
-    overshoot the running peak by 12.5% (plus 64 words) before
-    collecting, so the reported peak may underestimate the sup by that
-    much — use it for large parameter sweeps where only the growth shape
-    matters.
-
-    [telemetry] observes the whole run: per-step counters and high-water
-    marks (steps, allocations by kind, max continuation depth,
-    store-size high-water, peak space), collection events with
-    live/freed counts and trigger reason, an optional event stream, a
-    bounded ring buffer of recent configurations (the trace to dump when
-    a run gets {!Stuck}), and an optional space-over-time profile. A run
-    without telemetry pays nothing beyond an [is-None] branch per step.
-
-    [on_step] and [trace] are retained as shims over the telemetry
-    observation point: [on_step] receives the step index and the
-    configuration's flat space after any collection (exactly a telemetry
-    [Step] event), and [trace] receives the same one-line configuration
-    description the telemetry ring buffer records. New code should pass
-    [telemetry] instead. Default fuel: 20 million steps. *)
+[@@deprecated "use Machine.exec with Machine.Run_opts"]
+(** Labelled-argument shim over {!exec}. [on_step] and [trace] are shims
+    over the telemetry observation point: [on_step] receives the step
+    index and the configuration's flat space after any collection
+    (exactly a telemetry [Step] event), and [trace] receives the same
+    one-line configuration description the telemetry ring buffer records
+    (exactly what a telemetry [config_sink] receives). New code should
+    pass [Run_opts.telemetry] instead; removal is noted in DESIGN.md. *)
 
 val run_program :
   ?fuel:int ->
@@ -169,8 +273,8 @@ val run_program :
   program:Tailspace_ast.Ast.expr ->
   input:Tailspace_ast.Ast.expr ->
   result
-(** §12's convention: [program] evaluates to a procedure of one argument,
-    which is applied to [input]; runs [(program input)]. *)
+[@@deprecated "use Machine.exec_program with Machine.Run_opts"]
+(** Labelled-argument shim over {!exec_program}. *)
 
 val run_string :
   ?fuel:int ->
@@ -184,8 +288,8 @@ val run_string :
   t ->
   string ->
   result
-(** Parse and expand a whole program (see
-    {!Tailspace_expander.Expand.program}) and run it. *)
+[@@deprecated "use Machine.exec_string with Machine.Run_opts"]
+(** Labelled-argument shim over {!exec_string}. *)
 
 val eval_global : t -> Tailspace_ast.Ast.expr -> (Types.value * Store.t, string) Result.t
 (** Evaluate under the initial environment without measurement

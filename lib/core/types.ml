@@ -34,6 +34,11 @@ and cont =
       pending : int;
       remaining : (int * Ast.expr) list;
       evaluated : (int * value) list;
+      fv_rest : Ast.Iset.t list;
+          (* precomputed I_sfs restriction sets, one per element of
+             [remaining] (empty when unannotated or not Sfs); holds no
+             locations and no space — it names variables the machine
+             would otherwise recompute from [remaining] *)
       env : Env.t;
       next : cont;
       size : int;
@@ -95,13 +100,14 @@ let assign ~id ~env ~next =
 (* Figure 7: 1 + m + n + |Dom rho| + space(kappa). The expression being
    evaluated ([pending]) is in the accumulator, not in the frame, so [m]
    counts only [remaining]. *)
-let push ~pending ~remaining ~evaluated ~env ~next =
+let push ?(fv_rest = []) ~pending ~remaining ~evaluated ~env ~next () =
   let m = List.length remaining and n = List.length evaluated in
   Push
     {
       pending;
       remaining;
       evaluated;
+      fv_rest;
       env;
       next;
       size = 1 + m + n + Env.cardinal env + cont_space next;

@@ -50,6 +50,12 @@ and cont =
       pending : int;  (** original position of the expression being evaluated *)
       remaining : (int * Ast.expr) list;
       evaluated : (int * value) list;
+      fv_rest : Ast.Iset.t list;
+          (** precomputed [I_sfs] restriction sets, one per element of
+              [remaining] ([[]] when unannotated or not Sfs). Pure
+              bookkeeping: holds no locations and contributes no space —
+              it only names the variables the machine would otherwise
+              recompute from [remaining] at each pop. *)
       env : Env.t;
       next : cont;
       size : int;
@@ -74,11 +80,13 @@ val select : e1:Ast.expr -> e2:Ast.expr -> env:Env.t -> next:cont -> cont
 val assign : id:string -> env:Env.t -> next:cont -> cont
 
 val push :
+  ?fv_rest:Ast.Iset.t list ->
   pending:int ->
   remaining:(int * Ast.expr) list ->
   evaluated:(int * value) list ->
   env:Env.t ->
   next:cont ->
+  unit ->
   cont
 
 val call : vals:value list -> next:cont -> cont

@@ -149,7 +149,13 @@ let evaluate st expr env0 store0 =
 module Telemetry = Tailspace_telemetry.Telemetry
 
 let eval ?machine ?budget ?telemetry expr =
-  let machine = match machine with Some m -> m | None -> Machine.create () in
+  (* Annotations are N/A here: denotational closures capture the whole
+     rho, so there is no free-variable restriction to precompute. *)
+  let machine =
+    match machine with
+    | Some m -> m
+    | None -> Machine.create_with Machine.Config.default
+  in
   let env0, store0 = Machine.initial machine in
   let guard =
     Resilience.Guard.start ~default_fuel:50_000_000

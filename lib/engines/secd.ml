@@ -2,6 +2,7 @@ module Ast = Tailspace_ast.Ast
 module Bignum = Tailspace_bignum.Bignum
 module Telemetry = Tailspace_telemetry.Telemetry
 module Resilience = Tailspace_resilience.Resilience
+module Annot = Tailspace_analysis.Annot
 
 (* ------------------------------------------------------------------ *)
 (* Code                                                                *)
@@ -28,7 +29,22 @@ and template = { nparams : int; variadic : bool; body : code }
 (* Compiler: lexical addressing against a compile-time environment of
    name frames; anything unresolved is a global.                       *)
 
-let compile ?(proper_tail_calls = true) expr =
+let compile ?(proper_tail_calls = true) ?annot expr =
+  (* With an annotation table the tail/non-tail decision is a table
+     lookup instead of a structural recursion scheme; nodes the pass
+     marked [Both] (physically shared across positions) or never saw
+     fall back to the structural answer, so the emitted code is
+     identical either way (asserted in the tests). *)
+  (match annot with Some a -> Annot.record a expr | None -> ());
+  let resolve_tail e structural =
+    match annot with
+    | None -> structural
+    | Some a -> (
+        match Annot.tail_status a e with
+        | Some Annot.Tail -> true
+        | Some Annot.Nontail -> false
+        | Some Annot.Both | None -> structural)
+  in
   let index_of x names =
     let rec go i = function
       | [] -> None
@@ -46,38 +62,49 @@ let compile ?(proper_tail_calls = true) expr =
     in
     frames 0 cenv
   in
-  let rec comp e cenv =
-    match (e : Ast.expr) with
-    | Ast.Quote c -> [ IConst c ]
-    | Ast.Var x -> (
-        match resolve cenv x with
-        | Some (d, i) -> [ ILocal (d, i) ]
-        | None -> [ IGlobal x ])
-    | Ast.Lambda l -> [ IClosure (template l cenv) ]
-    | Ast.If (e0, e1, e2) ->
-        comp e0 cenv
-        @ [ ISel (comp e1 cenv @ [ IJoin ], comp e2 cenv @ [ IJoin ]) ]
-    | Ast.Set (x, e0) -> (
-        comp e0 cenv
-        @
-        match resolve cenv x with
-        | Some (d, i) -> [ ISetLocal (d, i) ]
-        | None -> [ ISetGlobal x ])
-    | Ast.Call (f, args) ->
-        comp f cenv
-        @ List.concat_map (fun a -> comp a cenv) args
-        @ [ IApply (List.length args) ]
-  and comp_tail e cenv =
+  let rec comp ~tail e cenv =
+    let tail = resolve_tail e tail in
     match (e : Ast.expr) with
     | Ast.If (e0, e1, e2) ->
-        comp e0 cenv @ [ ISelTail (comp_tail e1 cenv, comp_tail e2 cenv) ]
+        if tail then
+          comp ~tail:false e0 cenv
+          @ [ ISelTail (comp ~tail:true e1 cenv, comp ~tail:true e2 cenv) ]
+        else
+          comp ~tail:false e0 cenv
+          @ [
+              ISel
+                ( comp ~tail:false e1 cenv @ [ IJoin ],
+                  comp ~tail:false e2 cenv @ [ IJoin ] );
+            ]
     | Ast.Call (f, args) ->
+        (* A tail call with [proper_tail_calls = false] compiles to the
+           classic [IApply]; the callee's implicit return at end-of-code
+           plays the [IReturn]. *)
         let apply =
-          if proper_tail_calls then ITailApply (List.length args)
+          if tail && proper_tail_calls then ITailApply (List.length args)
           else IApply (List.length args)
         in
-        comp f cenv @ List.concat_map (fun a -> comp a cenv) args @ [ apply ]
-    | e -> comp e cenv @ [ IReturn ]
+        comp ~tail:false f cenv
+        @ List.concat_map (fun a -> comp ~tail:false a cenv) args
+        @ [ apply ]
+    | Ast.Quote _ | Ast.Var _ | Ast.Lambda _ | Ast.Set _ ->
+        let base =
+          match e with
+          | Ast.Quote c -> [ IConst c ]
+          | Ast.Var x -> (
+              match resolve cenv x with
+              | Some (d, i) -> [ ILocal (d, i) ]
+              | None -> [ IGlobal x ])
+          | Ast.Lambda l -> [ IClosure (template l cenv) ]
+          | Ast.Set (x, e0) -> (
+              comp ~tail:false e0 cenv
+              @
+              match resolve cenv x with
+              | Some (d, i) -> [ ISetLocal (d, i) ]
+              | None -> [ ISetGlobal x ])
+          | Ast.If _ | Ast.Call _ -> assert false
+        in
+        if tail then base @ [ IReturn ] else base
   and template (l : Ast.lambda) cenv =
     let names =
       match l.rest with Some r -> l.params @ [ r ] | None -> l.params
@@ -85,10 +112,10 @@ let compile ?(proper_tail_calls = true) expr =
     {
       nparams = List.length l.params;
       variadic = Option.is_some l.rest;
-      body = comp_tail l.body (names :: cenv);
+      body = comp ~tail:true l.body (names :: cenv);
     }
   in
-  comp expr []
+  comp ~tail:false expr []
 
 (* ------------------------------------------------------------------ *)
 (* Runtime values: OCaml-heap data, mutable in place — this engine is a
@@ -480,10 +507,10 @@ let exec_instr st instr =
   | IReturn -> do_return st (pop st)
 
 let run ?(fuel = 20_000_000) ?budget ?(proper_tail_calls = true) ?telemetry
-    expr =
+    ?annot expr =
   let budget = Option.value budget ~default:Resilience.Budget.unlimited in
   let guard = Resilience.Guard.start ~default_fuel:fuel budget in
-  let code = compile ~proper_tail_calls expr in
+  let code = compile ~proper_tail_calls ?annot expr in
   let globals = Hashtbl.create 64 in
   List.iter (fun name -> Hashtbl.replace globals name (Prim name)) prim_names;
   let st = { s = []; e = []; c = code; d = []; globals } in
@@ -541,6 +568,7 @@ let run ?(fuel = 20_000_000) ?budget ?(proper_tail_calls = true) ?telemetry
   in
   try loop () with Secd_error m -> finish (Error m)
 
-let run_program ?fuel ?budget ?proper_tail_calls ?telemetry ~program ~input ()
-    =
-  run ?fuel ?budget ?proper_tail_calls ?telemetry (Ast.Call (program, [ input ]))
+let run_program ?fuel ?budget ?proper_tail_calls ?telemetry ?annot ~program
+    ~input () =
+  run ?fuel ?budget ?proper_tail_calls ?telemetry ?annot
+    (Ast.Call (program, [ input ]))

@@ -40,6 +40,7 @@ val run :
   ?budget:Tailspace_resilience.Resilience.Budget.t ->
   ?proper_tail_calls:bool ->
   ?telemetry:Tailspace_telemetry.Telemetry.t ->
+  ?annot:Tailspace_analysis.Annot.t ->
   Tailspace_ast.Ast.expr ->
   result
 (** Compile and run an expression. [proper_tail_calls] defaults to
@@ -50,14 +51,17 @@ val run :
     the run with the same step events as the reference machines: the
     dump depth plays the continuation-depth role, the measured live
     words the space role (there is no store, so store-size and
-    allocation channels stay zero). Default fuel: 20 million
-    instructions. *)
+    allocation channels stay zero). [annot] serves the compiler's
+    tail-position decisions from a precomputed table (see {!compile});
+    the emitted code, and hence the run, is identical without it.
+    Default fuel: 20 million instructions. *)
 
 val run_program :
   ?fuel:int ->
   ?budget:Tailspace_resilience.Resilience.Budget.t ->
   ?proper_tail_calls:bool ->
   ?telemetry:Tailspace_telemetry.Telemetry.t ->
+  ?annot:Tailspace_analysis.Annot.t ->
   program:Tailspace_ast.Ast.expr ->
   input:Tailspace_ast.Ast.expr ->
   unit ->
@@ -85,5 +89,14 @@ and code = instr list
 and template = { nparams : int; variadic : bool; body : code }
 
 val compile :
-  ?proper_tail_calls:bool -> Tailspace_ast.Ast.expr -> code
-(** Compile a closed expression (free identifiers become globals). *)
+  ?proper_tail_calls:bool ->
+  ?annot:Tailspace_analysis.Annot.t ->
+  Tailspace_ast.Ast.expr ->
+  code
+(** Compile a closed expression (free identifiers become globals). With
+    [annot], tail positions are decided by the precomputed
+    {!Tailspace_analysis.Annot.tail_status} table lookup instead of the
+    structural recursion scheme; nodes marked [Both] (physically shared
+    across positions) fall back to the structural answer, so the emitted
+    instruction stream is identical with and without [annot] (asserted
+    in the tests). *)

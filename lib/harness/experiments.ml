@@ -84,8 +84,10 @@ module Thm25 = struct
     let measured =
       Pool.map ?pool
         (fun (_, program, variant, n) ->
-          Runner.run_once ?budget ~variant ~program ~n ~gc_policy:`Approximate
-            ())
+          Runner.run_once
+            ~opts:(Machine.Run_opts.make ?budget ~gc_policy:`Approximate ())
+            ~config:(Machine.Config.make ~variant ())
+            ~program ~n ())
         leaves
     in
     let tagged = List.combine leaves measured in
@@ -235,7 +237,11 @@ module Thm24 = struct
     let measured =
       Pool.map ?pool
         (fun (_, n, program, variant) ->
-          let m = Runner.run_once ~variant ~program ~n () in
+          let m =
+            Runner.run_once
+              ~config:(Machine.Config.make ~variant ())
+              ~program ~n ()
+          in
           m.Runner.space)
         leaves
     in
@@ -289,10 +295,17 @@ module Thm26 = struct
       Pool.map ?pool
         (fun (n, program) ->
           let tail_m =
-            Runner.run_once ?budget ~variant:Machine.Tail ~program ~n
-              ~measure_linked:true ()
+            Runner.run_once
+              ~opts:(Machine.Run_opts.make ?budget ~measure_linked:true ())
+              ~config:(Machine.Config.make ~variant:Machine.Tail ())
+              ~program ~n ()
           in
-          let sfs_m = Runner.run_once ?budget ~variant:Machine.Sfs ~program ~n () in
+          let sfs_m =
+            Runner.run_once
+              ~opts:(Machine.Run_opts.make ?budget ())
+              ~config:(Machine.Config.make ~variant:Machine.Sfs ())
+              ~program ~n ()
+          in
           (n, tail_m, sfs_m))
         tasks
     in
@@ -375,8 +388,9 @@ module Sec4 = struct
       (fun (spine, traverse, build) ->
         List.map
           (fun variant ->
-            let tm = Runner.sweep ?pool ~variant ~program:traverse ~ns () in
-            let bm = Runner.sweep ?pool ~variant ~program:build ~ns () in
+            let config = Machine.Config.make ~variant () in
+            let tm = Runner.sweep ?pool ~config ~program:traverse ~ns () in
+            let bm = Runner.sweep ?pool ~config ~program:build ~ns () in
             let deltas =
               List.filter_map
                 (fun n ->
@@ -444,7 +458,11 @@ module Cor20 = struct
     let measured =
       Pool.map ?pool
         (fun (_, n, program, variant) ->
-          let m = Runner.run_once ~variant ~program ~n () in
+          let m =
+            Runner.run_once
+              ~config:(Machine.Config.make ~variant ())
+              ~program ~n ()
+          in
           match m.Runner.status with
           | Runner.Answer a -> a
           | Runner.Stuck s -> "stuck: " ^ s
@@ -506,13 +524,18 @@ module Cps = struct
 
   let run ?pool ?(ns = default_ns) ?budget () =
     let program = expand Families.cps_loop in
+    let opts = Machine.Run_opts.make ?budget () in
     let tail =
       Runner.spaces
-        (Runner.sweep ?pool ?budget ~variant:Machine.Tail ~program ~ns ())
+        (Runner.sweep ?pool ~opts
+           ~config:(Machine.Config.make ~variant:Machine.Tail ())
+           ~program ~ns ())
     in
     let gc =
       Runner.spaces
-        (Runner.sweep ?pool ?budget ~variant:Machine.Gc ~program ~ns ())
+        (Runner.sweep ?pool ~opts
+           ~config:(Machine.Config.make ~variant:Machine.Gc ())
+           ~program ~ns ())
     in
     (* [Runner.spaces] keeps only answered points, so a starved sweep
        can leave fewer than three: fit [None] rather than raise. *)
@@ -570,8 +593,12 @@ module Ablation = struct
     let sweep ?return_env ?evlis_drop_at_creation ~variant label source =
       let program = expand source in
       let ms =
-        Runner.sweep ?pool ?return_env ?evlis_drop_at_creation ~variant
-          ~program ~ns ~gc_policy:`Approximate ()
+        Runner.sweep ?pool
+          ~opts:(Machine.Run_opts.make ~gc_policy:`Approximate ())
+          ~config:
+            (Machine.Config.make ?return_env ?evlis_drop_at_creation ~variant
+               ())
+          ~program ~ns ()
       in
       { label; spaces = Runner.spaces ms }
     in
@@ -692,7 +719,11 @@ module Sanity = struct
   let machine_engine variant name =
     ( name,
       fun ~program ~n ->
-        let m = Runner.run_once ~variant ~program ~n () in
+        let m =
+          Runner.run_once
+            ~config:(Machine.Config.make ~variant ())
+            ~program ~n ()
+        in
         match m.Runner.status with
         | Runner.Answer _ -> Some m.Runner.space
         | _ -> None )
@@ -713,7 +744,9 @@ module Sanity = struct
         (fun (name, program) ->
           ( name,
             Runner.spaces
-              (Runner.sweep ?pool ~variant:Machine.Tail ~program ~ns ()) ))
+              (Runner.sweep ?pool
+                 ~config:(Machine.Config.make ~variant:Machine.Tail ())
+                 ~program ~ns ()) ))
         programs
     in
     let rows =

@@ -31,6 +31,8 @@ type report = {
   checks : check list;
   cross_variant_agree : bool;
   algol_stuck_on_demand : bool;
+  annot_invariant : bool;
+  annot_failures : string list;
   ok : bool;
 }
 
@@ -62,10 +64,18 @@ let default_programs () =
       [ "countdown"; "fib-iter"; "even-odd" ]
 
 let check_point ~fuel ~family ~program ~n variant =
-  let baseline = Runner.run_once ~fuel ~variant ~program ~n () in
+  let config = Machine.Config.make ~variant () in
+  let baseline =
+    Runner.run_once ~opts:(Machine.Run_opts.make ~fuel ()) ~config ~program ~n
+      ()
+  in
   List.map
     (fun plan ->
-      let m = Runner.run_once ~fuel ~variant ~program ~n ~fault:plan () in
+      let m =
+        Runner.run_once
+          ~opts:(Machine.Run_opts.make ~fuel ~fault:plan ())
+          ~config ~program ~n ()
+      in
       {
         family;
         n;
@@ -93,8 +103,11 @@ let algol_dangling () =
     Expand.program_of_string "(define (make n) (lambda (ignored) n)) (define (go n) ((make n) 0)) go"
   in
   let m =
-    Runner.run_once ~variant:Machine.Stack ~stack_policy:Machine.Algol ~program
-      ~n:5 ()
+    Runner.run_once
+      ~config:
+        (Machine.Config.make ~variant:Machine.Stack
+           ~stack_policy:Machine.Algol ())
+      ~program ~n:5 ()
   in
   match m.Runner.status with Runner.Stuck _ -> true | _ -> false
 
@@ -104,12 +117,53 @@ let cross_variant ~fuel programs =
       let answers =
         List.map
           (fun variant ->
-            status_text (Runner.run_once ~fuel ~variant ~program ~n ()))
+            status_text
+              (Runner.run_once
+                 ~opts:(Machine.Run_opts.make ~fuel ())
+                 ~config:(Machine.Config.make ~variant ())
+                 ~program ~n ()))
           Machine.all_variants
       in
       match answers with
       | first :: rest -> List.for_all (String.equal first) rest
       | [] -> true)
+    programs
+
+(* The static annotation pass changes {e when} free variables are
+   computed, never {e what} a rule produces: annotated and unannotated
+   runs of the same (program, input, variant) must agree exactly on the
+   observable status, the step count, and the measured peak. *)
+let annot_agreement ~fuel programs =
+  List.concat_map
+    (fun (family, program, n) ->
+      List.filter_map
+        (fun variant ->
+          let opts = Machine.Run_opts.make ~fuel () in
+          let on =
+            Runner.run_once ~opts
+              ~config:(Machine.Config.make ~variant ~annotate:true ())
+              ~program ~n ()
+          in
+          let off =
+            Runner.run_once ~opts
+              ~config:(Machine.Config.make ~variant ~annotate:false ())
+              ~program ~n ()
+          in
+          if
+            String.equal (status_text on) (status_text off)
+            && on.Runner.peak_space = off.Runner.peak_space
+            && on.Runner.steps = off.Runner.steps
+          then None
+          else
+            Some
+              (Printf.sprintf
+                 "%s n=%d %s: annotated %s steps=%d peak=%d vs unannotated %s \
+                  steps=%d peak=%d"
+                 family n
+                 (Machine.variant_name variant)
+                 (status_text on) on.Runner.steps on.Runner.peak_space
+                 (status_text off) off.Runner.steps off.Runner.peak_space))
+        Machine.all_variants)
     programs
 
 let run ?(fuel = 2_000_000) ?programs () =
@@ -126,11 +180,20 @@ let run ?(fuel = 2_000_000) ?programs () =
   in
   let cross_variant_agree = cross_variant ~fuel programs in
   let algol_stuck_on_demand = algol_dangling () in
+  let annot_failures = annot_agreement ~fuel programs in
+  let annot_invariant = annot_failures = [] in
   let ok =
-    cross_variant_agree && algol_stuck_on_demand
+    cross_variant_agree && algol_stuck_on_demand && annot_invariant
     && List.for_all (fun c -> c.answer_agrees && c.peak_stable) checks
   in
-  { checks; cross_variant_agree; algol_stuck_on_demand; ok }
+  {
+    checks;
+    cross_variant_agree;
+    algol_stuck_on_demand;
+    annot_invariant;
+    annot_failures;
+    ok;
+  }
 
 let failures r =
   List.filter (fun c -> not (c.answer_agrees && c.peak_stable)) r.checks
@@ -140,10 +203,14 @@ let render r =
   Buffer.add_string buf
     (Printf.sprintf
        "differential oracle: %d checks, cross-variant agreement %s, algol \
-        dangling-pointer stuck state %s\n"
+        dangling-pointer stuck state %s, annotation invariance %s\n"
        (List.length r.checks)
        (if r.cross_variant_agree then "ok" else "FAILED")
-       (if r.algol_stuck_on_demand then "reachable" else "NOT REACHABLE"));
+       (if r.algol_stuck_on_demand then "reachable" else "NOT REACHABLE")
+       (if r.annot_invariant then "ok" else "FAILED"));
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "ANNOT MISMATCH %s\n" f))
+    r.annot_failures;
   (match failures r with
   | [] -> Buffer.add_string buf "all adversarial schedules agree with baseline\n"
   | fs ->
@@ -180,6 +247,9 @@ let to_json r =
       ("ok", Json.Bool r.ok);
       ("cross_variant_agree", Json.Bool r.cross_variant_agree);
       ("algol_stuck_on_demand", Json.Bool r.algol_stuck_on_demand);
+      ("annot_invariant", Json.Bool r.annot_invariant);
+      ( "annot_failures",
+        Json.List (List.map (fun s -> Json.Str s) r.annot_failures) );
       ("checks", Json.Int (List.length r.checks));
       ("failures", Json.List (List.map check_to_json (failures r)));
     ]

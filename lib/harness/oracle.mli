@@ -5,7 +5,13 @@
     (Definition 21's space is the sup of live space, which forced
     collections cannot change) under adversarial GC schedules, and
     exercises [I_stack]'s Algol dangling-pointer stuck state on
-    demand. *)
+    demand.
+
+    The oracle also checks the static annotation pass differentially:
+    annotated and unannotated machines must produce identical answers,
+    peak space, and step counts across all six variants — the pass may
+    only change {e when} free-variable sets are computed, never what a
+    rule observes. *)
 
 module Machine = Tailspace_core.Machine
 module Resilience = Tailspace_resilience.Resilience
@@ -32,6 +38,11 @@ type report = {
   algol_stuck_on_demand : bool;
       (** the [I_stack]/Algol dangling-pointer stuck state is reachable
           when asked for *)
+  annot_invariant : bool;
+      (** annotated and unannotated runs agree exactly on status, step
+          count, and peak space for every (program, variant) *)
+  annot_failures : string list;
+      (** human-readable description of each annotation disagreement *)
   ok : bool;
 }
 
@@ -55,5 +66,5 @@ val render : report -> string
 (** Human-readable report; ends with [oracle: OK] or [oracle: FAILED]. *)
 
 val to_json : report -> Json.t
-(** [{"ok", "cross_variant_agree", "algol_stuck_on_demand", "checks",
-    "failures"}]. *)
+(** [{"ok", "cross_variant_agree", "algol_stuck_on_demand",
+    "annot_invariant", "annot_failures", "checks", "failures"}]. *)

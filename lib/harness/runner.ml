@@ -25,13 +25,17 @@ type measurement = {
 
 let input_expr n = Ast.Quote (Ast.C_int (Bignum.of_int n))
 
-let measure_with machine ?fuel ?budget ?fault ?measure_linked ?gc_policy
+let measure_with machine ?(opts = Machine.Run_opts.default)
     ?(collect_telemetry = false) ~program ~n () =
-  let telemetry = if collect_telemetry then Some (Telemetry.create ()) else None in
-  let r =
-    Machine.run_program ?fuel ?budget ?fault ?measure_linked ?gc_policy
-      ?telemetry machine ~program ~input:(input_expr n)
+  (* [collect_telemetry] attaches a fresh telemetry instance per point
+     (never shared through [opts]), so cached and parallel sweeps stay
+     deterministic. *)
+  let telemetry =
+    if collect_telemetry then Some (Telemetry.create ())
+    else opts.Machine.Run_opts.telemetry
   in
+  let opts = { opts with Machine.Run_opts.telemetry } in
+  let r = Machine.exec_program ~opts machine ~program ~input:(input_expr n) in
   let status =
     match r.Machine.outcome with
     | Machine.Done { answer; _ } -> Answer answer
@@ -47,18 +51,15 @@ let measure_with machine ?fuel ?budget ?fault ?measure_linked ?gc_policy
     status;
     gc_runs = r.Machine.gc_runs;
     peak_space = r.Machine.peak_space;
-    summary = Option.map Telemetry.summary telemetry;
+    summary =
+      (if collect_telemetry then Option.map Telemetry.summary telemetry
+       else None);
   }
 
-let run_once ?fuel ?budget ?fault ?measure_linked ?gc_policy ?collect_telemetry
-    ?perm ?stack_policy ?return_env ?evlis_drop_at_creation ~variant ~program ~n
-    () =
-  let machine =
-    Machine.create ~variant ?perm ?stack_policy ?return_env
-      ?evlis_drop_at_creation ()
-  in
-  measure_with machine ?fuel ?budget ?fault ?measure_linked ?gc_policy
-    ?collect_telemetry ~program ~n ()
+let run_once ?opts ?collect_telemetry ?(config = Machine.Config.default)
+    ~program ~n () =
+  let machine = Machine.create_with config in
+  measure_with machine ?opts ?collect_telemetry ~program ~n ()
 
 (* {2 Measurement codecs}
 
@@ -150,34 +151,28 @@ let measurement_of_json json =
    invalidates old entries whenever the codec or the semantics of a
    part changes. *)
 
-let point_key ~source ?fuel ?budget ?fault ?measure_linked ?gc_policy ?perm
-    ?stack_policy ?return_env ?evlis_drop_at_creation ?(collect_telemetry =
-      false) ~variant ~extra ~n () =
+let point_key ~source ?(opts = Machine.Run_opts.default)
+    ?(collect_telemetry = false) ~config ~extra ~n () =
   let opt f = function Some v -> f v | None -> "default" in
   Cache.key
     ([
-       "tailspace-measurement-v1";
+       "tailspace-measurement-v2";
        source;
-       Machine.variant_name variant;
+       (* The machine part of the key is the canonical serialized
+          config, so anything that can change a machine's behavior —
+          including the annotation toggle and the seed — is keyed. *)
+       Json.to_string (Machine.Config.to_json config);
+       string_of_int opts.Machine.Run_opts.fuel;
        opt
-         (function
-           | Machine.Left_to_right -> "ltr"
-           | Machine.Right_to_left -> "rtl"
-           | Machine.Seeded s -> Printf.sprintf "seeded:%d" s)
-         perm;
+         (fun b -> Json.to_string (Resilience.Budget.to_json b))
+         opts.Machine.Run_opts.budget;
        opt
-         (function Machine.Algol -> "algol" | Machine.Safe_deletion -> "safe")
-         stack_policy;
-       opt
-         (function
-           | Machine.Closure_env -> "closure" | Machine.Register_env -> "register")
-         return_env;
-       opt string_of_bool evlis_drop_at_creation;
-       opt string_of_int fuel;
-       opt (fun b -> Json.to_string (Resilience.Budget.to_json b)) budget;
-       opt (fun f -> Json.to_string (Resilience.Fault.to_json f)) fault;
-       opt string_of_bool measure_linked;
-       opt (function `Exact -> "exact" | `Approximate -> "approximate") gc_policy;
+         (fun f -> Json.to_string (Resilience.Fault.to_json f))
+         opts.Machine.Run_opts.fault;
+       string_of_bool opts.Machine.Run_opts.measure_linked;
+       (match opts.Machine.Run_opts.gc_policy with
+       | `Exact -> "exact"
+       | `Approximate -> "approximate");
        string_of_bool collect_telemetry;
        string_of_int n;
      ]
@@ -213,24 +208,17 @@ let through_cache ~cache ~key ~decode ~encode ~task ?pool ns =
           | [] -> assert false))
     probed
 
-let sweep ?pool ?cache ?cache_source ?fuel ?budget ?fault ?measure_linked
-    ?gc_policy ?collect_telemetry ?perm ?stack_policy ?return_env
-    ?evlis_drop_at_creation ~variant ~program ~ns () =
+let sweep ?pool ?cache ?cache_source ?opts ?collect_telemetry
+    ?(config = Machine.Config.default) ~program ~ns () =
   (* Each point runs on a fresh machine so results depend only on the
      point itself — not on sweep order, job count, or RNG state carried
      over from earlier inputs. This is what makes parallel sweeps
      byte-identical to serial ones. *)
-  let task n =
-    run_once ?fuel ?budget ?fault ?measure_linked ?gc_policy ?collect_telemetry
-      ?perm ?stack_policy ?return_env ?evlis_drop_at_creation ~variant ~program
-      ~n ()
-  in
+  let task n = run_once ?opts ?collect_telemetry ~config ~program ~n () in
   match (cache, cache_source) with
   | Some cache, Some source ->
       let key n =
-        point_key ~source ?fuel ?budget ?fault ?measure_linked ?gc_policy ?perm
-          ?stack_policy ?return_env ?evlis_drop_at_creation ?collect_telemetry
-          ~variant ~extra:[] ~n ()
+        point_key ~source ?opts ?collect_telemetry ~config ~extra:[] ~n ()
       in
       through_cache ~cache ~key ~decode:measurement_of_json
         ~encode:measurement_to_json ~task ?pool ns
@@ -283,24 +271,30 @@ let supervised_point_of_json json =
   Ok { measurement; attempts; note }
 
 let sweep_supervised ?pool ?cache ?cache_source
-    ?(budget = Resilience.Budget.unlimited) ?fault ?measure_linked ?gc_policy
-    ?collect_telemetry ?perm ?stack_policy ?return_env ?evlis_drop_at_creation
-    ?(max_attempts = 3) ?(fuel_factor = 4) ?(fuel_cap = 50_000_000)
-    ?(initial_fuel = 1_000_000) ~variant ~program ~ns () =
+    ?(opts = Machine.Run_opts.default) ?collect_telemetry
+    ?(config = Machine.Config.default) ?(max_attempts = 3) ?(fuel_factor = 4)
+    ?(fuel_cap = 50_000_000) ?(initial_fuel = 1_000_000) ~program ~ns () =
+  let base_budget =
+    Option.value opts.Machine.Run_opts.budget
+      ~default:Resilience.Budget.unlimited
+  in
   let start_fuel =
-    min fuel_cap (Option.value budget.Resilience.Budget.fuel ~default:initial_fuel)
+    min fuel_cap
+      (Option.value base_budget.Resilience.Budget.fuel ~default:initial_fuel)
   in
   let supervise n =
     let rec attempt k fuel =
-      let budget = { budget with Resilience.Budget.fuel = Some fuel } in
+      let opts =
+        {
+          opts with
+          Machine.Run_opts.budget =
+            Some { base_budget with Resilience.Budget.fuel = Some fuel };
+        }
+      in
       (* A fresh machine per attempt: retries differ only in their fuel,
          and points are independent of each other and of ordering. *)
       let m =
-        match
-          run_once ~budget ?fault ?measure_linked ?gc_policy ?collect_telemetry
-            ?perm ?stack_policy ?return_env ?evlis_drop_at_creation ~variant
-            ~program ~n ()
-        with
+        match run_once ~opts ?collect_telemetry ~config ~program ~n () with
         | m -> m
         | exception e -> crashed_measurement n (Printexc.to_string e)
       in
@@ -333,9 +327,7 @@ let sweep_supervised ?pool ?cache ?cache_source
     match (cache, cache_source) with
     | Some cache, Some source ->
         let key n =
-          point_key ~source ~budget ?fault ?measure_linked ?gc_policy ?perm
-            ?stack_policy ?return_env ?evlis_drop_at_creation
-            ?collect_telemetry ~variant
+          point_key ~source ~opts ?collect_telemetry ~config
             ~extra:
               [
                 "supervised";

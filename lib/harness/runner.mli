@@ -30,24 +30,20 @@ val input_expr : int -> Tailspace_ast.Ast.expr
 (** [(quote N)]. *)
 
 val run_once :
-  ?fuel:int ->
-  ?budget:Resilience.Budget.t ->
-  ?fault:Resilience.Fault.plan ->
-  ?measure_linked:bool ->
-  ?gc_policy:[ `Exact | `Approximate ] ->
+  ?opts:Machine.Run_opts.t ->
   ?collect_telemetry:bool ->
-  ?perm:Machine.perm_policy ->
-  ?stack_policy:Machine.stack_policy ->
-  ?return_env:Machine.return_env ->
-  ?evlis_drop_at_creation:bool ->
-  variant:Machine.variant ->
+  ?config:Machine.Config.t ->
   program:Tailspace_ast.Ast.expr ->
   n:int ->
   unit ->
   measurement
-(** [collect_telemetry] (default [false]) attaches a fresh telemetry
-    instance to the run and stores its summary in the measurement.
-    [budget] and [fault] are forwarded to {!Machine.run_program}. *)
+(** Build a fresh machine from [config] (default
+    {!Machine.Config.default}) and measure one (program, input) point
+    under [opts] (default {!Machine.Run_opts.default}).
+    [collect_telemetry] (default [false]) attaches a fresh telemetry
+    instance to the run — overriding any instance in [opts], which must
+    not be shared across cached or parallel points — and stores its
+    summary in the measurement. *)
 
 val status_to_json : status -> Telemetry.Json.t
 val status_of_json : Telemetry.Json.t -> (status, string) result
@@ -62,17 +58,9 @@ val sweep :
   ?pool:Pool.t ->
   ?cache:Cache.t ->
   ?cache_source:string ->
-  ?fuel:int ->
-  ?budget:Resilience.Budget.t ->
-  ?fault:Resilience.Fault.plan ->
-  ?measure_linked:bool ->
-  ?gc_policy:[ `Exact | `Approximate ] ->
+  ?opts:Machine.Run_opts.t ->
   ?collect_telemetry:bool ->
-  ?perm:Machine.perm_policy ->
-  ?stack_policy:Machine.stack_policy ->
-  ?return_env:Machine.return_env ->
-  ?evlis_drop_at_creation:bool ->
-  variant:Machine.variant ->
+  ?config:Machine.Config.t ->
   program:Tailspace_ast.Ast.expr ->
   ns:int list ->
   unit ->
@@ -86,7 +74,10 @@ val sweep :
     (the program's identity: its source text, or a corpus tag), points
     already measured under the same configuration are replayed from the
     cache and only the misses run; the cache is touched only from the
-    calling domain. *)
+    calling domain. Cache keys embed the canonical
+    {!Machine.Config.to_json} serialization (version tag
+    [tailspace-measurement-v2]), so any knob that can change a
+    measurement — including the annotation toggle — is keyed. *)
 
 (** {1 The crash-proof sweep supervisor}
 
@@ -117,34 +108,28 @@ val sweep_supervised :
   ?pool:Pool.t ->
   ?cache:Cache.t ->
   ?cache_source:string ->
-  ?budget:Resilience.Budget.t ->
-  ?fault:Resilience.Fault.plan ->
-  ?measure_linked:bool ->
-  ?gc_policy:[ `Exact | `Approximate ] ->
+  ?opts:Machine.Run_opts.t ->
   ?collect_telemetry:bool ->
-  ?perm:Machine.perm_policy ->
-  ?stack_policy:Machine.stack_policy ->
-  ?return_env:Machine.return_env ->
-  ?evlis_drop_at_creation:bool ->
+  ?config:Machine.Config.t ->
   ?max_attempts:int ->
   ?fuel_factor:int ->
   ?fuel_cap:int ->
   ?initial_fuel:int ->
-  variant:Machine.variant ->
   program:Tailspace_ast.Ast.expr ->
   ns:int list ->
   unit ->
   supervised
-(** Run every input under the budget. A point that runs out of fuel is
-    retried with the fuel multiplied by [fuel_factor] (default 4), up to
-    [max_attempts] (default 3) attempts or the [fuel_cap] (default 50M
-    steps) — capped exponential backoff. Other aborts (space budget,
+(** Run every input under [opts]'s budget. A point that runs out of fuel
+    is retried with the fuel multiplied by [fuel_factor] (default 4), up
+    to [max_attempts] (default 3) attempts or the [fuel_cap] (default
+    50M steps) — capped exponential backoff. Other aborts (space budget,
     deadline, output cap, injected fault) are terminal for the point:
     more fuel cannot help. Exceptions escaping a run are caught and
     recorded as [Aborted (Crashed _)]. The first attempt's fuel is
-    [budget.fuel] when set, else [initial_fuel] (default 1M steps).
-    Always returns the full table: failed points carry their abort
-    reason in the measurement status and a human note.
+    [opts.budget]'s fuel when set, else [initial_fuel] (default 1M
+    steps); [opts.fuel] is ignored (the supervisor owns the fuel
+    schedule). Always returns the full table: failed points carry their
+    abort reason in the measurement status and a human note.
 
     Points run on fresh machines (one per attempt) and are independent,
     so [pool], [cache], and [cache_source] behave exactly as in {!sweep};

@@ -437,13 +437,14 @@ type t = {
   mutable peak_linked : int;  (* -1 = unmeasured *)
   mutable stuck : string option;
   sink : sink option;
+  config_sink : (int -> string -> unit) option;
   ring : (int * string) array;  (* capacity 0 = disabled *)
   mutable ring_len : int;
   mutable ring_pos : int;
   profile : Profile.t option;
 }
 
-let create ?sink ?(ring = 0) ?profile () =
+let create ?sink ?config_sink ?(ring = 0) ?profile () =
   {
     steps = 0;
     gc_runs = 0;
@@ -459,6 +460,7 @@ let create ?sink ?(ring = 0) ?profile () =
     peak_linked = -1;
     stuck = None;
     sink;
+    config_sink;
     ring = Array.make (Stdlib.max 0 ring) (0, "");
     ring_len = 0;
     ring_pos = 0;
@@ -504,9 +506,11 @@ let record_stuck t ~step ~message =
   t.stuck <- Some message;
   emit t (Stuck { step; message })
 
-let wants_config t = Array.length t.ring > 0
+let wants_config t =
+  Array.length t.ring > 0 || Option.is_some t.config_sink
 
 let record_config t ~step description =
+  (match t.config_sink with Some f -> f step description | None -> ());
   let cap = Array.length t.ring in
   if cap > 0 then begin
     t.ring.(t.ring_pos) <- (step, description);

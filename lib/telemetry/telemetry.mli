@@ -123,9 +123,18 @@ end
 
 type t
 
-val create : ?sink:sink -> ?ring:int -> ?profile:Profile.t -> unit -> t
+val create :
+  ?sink:sink ->
+  ?config_sink:(int -> string -> unit) ->
+  ?ring:int ->
+  ?profile:Profile.t ->
+  unit ->
+  t
 (** [ring] is the capacity of the last-K-configurations buffer
-    (default [0] = off). *)
+    (default [0] = off). [config_sink] receives every (step,
+    configuration description) pair the moment it is recorded — the
+    streaming analogue of the ring buffer, and the replacement for the
+    machines' deprecated [?trace] callback. *)
 
 val has_sink : t -> bool
 
@@ -142,11 +151,13 @@ val record_gc : t -> step:int -> reason:gc_reason -> live:int -> freed:int -> un
 val record_stuck : t -> step:int -> message:string -> unit
 
 val wants_config : t -> bool
-(** Whether {!record_config} would retain anything (ring enabled) — lets
-    the machine skip rendering configuration descriptions otherwise. *)
+(** Whether {!record_config} would observe anything (ring enabled or a
+    [config_sink] installed) — lets the machine skip rendering
+    configuration descriptions otherwise. *)
 
 val record_config : t -> step:int -> string -> unit
-(** Pushes a one-line configuration description into the ring buffer. *)
+(** Feeds the [config_sink] (if any) and pushes a one-line configuration
+    description into the ring buffer. *)
 
 val note_steps : t -> int -> unit
 (** Force the step counter (the machines call this once at the end so the

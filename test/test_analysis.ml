@@ -139,6 +139,164 @@ let test_corpus_wide_claim () =
   Alcotest.(check bool) "tail calls are a sizable fraction" true
     (TC.percent total.TC.tail_calls total.TC.calls > 15.)
 
+(* --- the static annotation pass (Annot) --- *)
+
+module An = Tailspace_analysis.Annot
+module A = Tailspace_ast.Ast
+module B = Tailspace_bignum.Bignum
+module M = Tailspace_core.Machine
+module R = Tailspace_harness.Runner
+module Pool = Tailspace_parallel.Pool
+module S = Tailspace_engines.Secd
+module E = Tailspace_expander.Expand
+module Json = Tailspace_telemetry.Telemetry.Json
+
+(* possibly-open expressions: free variables are the interesting case,
+   so unlike test_engines' generator this one deliberately produces
+   unbound identifiers alongside lambda-bound ones *)
+let gen_annot_expr =
+  let open QCheck.Gen in
+  let const =
+    map (fun n -> A.Quote (A.C_int (B.of_int n))) (int_range (-9) 9)
+  in
+  let free = map (fun v -> A.Var v) (oneofl [ "a"; "b"; "c"; "d" ]) in
+  let bound env =
+    if env = [] then free
+    else
+      map
+        (fun i -> A.Var (List.nth env (i mod List.length env)))
+        (int_range 0 50)
+  in
+  let fresh = map (fun i -> Printf.sprintf "x%d" i) (int_range 0 6) in
+  let rec go env depth =
+    if depth = 0 then oneof [ const; free; bound env ]
+    else
+      let sub = go env (depth - 1) in
+      frequency
+        [
+          (2, const);
+          (2, free);
+          (2, bound env);
+          ( 3,
+            map2
+              (fun f args -> A.Call (f, args))
+              sub
+              (list_size (int_range 0 3) sub) );
+          (2, map3 (fun a b c -> A.If (a, b, c)) sub sub sub);
+          (1, fresh >>= fun x -> map (fun e -> A.Set (x, e)) sub);
+          ( 3,
+            fresh >>= fun x ->
+            map
+              (fun body -> A.Lambda { params = [ x ]; rest = None; body })
+              (go (x :: env) (depth - 1)) );
+        ]
+  in
+  go [] 5
+
+let arb_annot = QCheck.make ~print:A.to_string gen_annot_expr
+
+let iter_subterms f e =
+  let rec go e =
+    f e;
+    match e with
+    | A.Quote _ | A.Var _ -> ()
+    | A.Lambda { body; _ } -> go body
+    | A.If (e0, e1, e2) ->
+        go e0;
+        go e1;
+        go e2
+    | A.Set (_, e0) -> go e0
+    | A.Call (e0, es) ->
+        go e0;
+        List.iter go es
+  in
+  go e
+
+(* Every recorded subterm's precomputed set has exactly the elements the
+   reference computation assigns it. *)
+let prop_fv_agrees =
+  QCheck.Test.make ~name:"Annot.free_vars = Ast.free_vars on every subterm"
+    ~count:300 arb_annot (fun e ->
+      let t = An.create () in
+      An.record t e;
+      let ok = ref true in
+      iter_subterms
+        (fun sub ->
+          match An.free_vars t sub with
+          | None -> ok := false
+          | Some s -> if not (A.Iset.equal s (A.free_vars sub)) then ok := false)
+        e;
+      !ok)
+
+(* Hash-consing: interning a freshly built structurally-equal set must
+   return the physically identical representative the pass stored, so
+   the machines' set comparisons are O(1) pointer tests. *)
+let prop_interned_shared =
+  QCheck.Test.make ~name:"interned free-variable sets physically shared"
+    ~count:300 arb_annot (fun e ->
+      let t = An.create () in
+      An.record t e;
+      let ok = ref true in
+      iter_subterms
+        (fun sub ->
+          match An.free_vars t sub with
+          | None -> ok := false
+          | Some s ->
+              (* rebuild the set from scratch to defeat Ast's memoizer *)
+              let fresh = A.Iset.of_list (A.Iset.elements (A.free_vars sub)) in
+              if not (An.intern t fresh == s) then ok := false)
+        e;
+      (* recording is idempotent: a second pass over the same (physically
+         identical) tree adds no nodes and interns no new sets *)
+      let nodes = An.nodes t and sets = An.distinct_sets t in
+      An.record t e;
+      if An.nodes t <> nodes || An.distinct_sets t <> sets then ok := false;
+      !ok)
+
+(* The SECD compiler must emit the same instruction stream whether tail
+   positions come from the table or the structural recursion. *)
+let prop_secd_compile_equal =
+  QCheck.Test.make ~name:"SECD compile unchanged by annotations" ~count:300
+    arb_annot (fun e ->
+      let t = An.create () in
+      An.record t e;
+      S.compile e = S.compile ~annot:t e)
+
+(* The end-to-end invariance the oracle enforces, at the sweep level:
+   annotated and unannotated measurements serialize byte-identically,
+   serially and through a 4-domain pool. *)
+let test_annot_sweep_identical () =
+  let program =
+    E.program_of_string
+      "(define (count n) (if (zero? n) 0 (count (- n 1)))) count"
+  in
+  let ns = [ 3; 9; 27 ] in
+  let serialize ms =
+    String.concat "\n"
+      (List.map (fun m -> Json.to_string (R.measurement_to_json m)) ms)
+  in
+  List.iter
+    (fun variant ->
+      let sweep ?pool annotate =
+        serialize
+          (R.sweep ?pool
+             ~config:(M.Config.make ~variant ~annotate ())
+             ~program ~ns ())
+      in
+      let name = M.variant_name variant in
+      let baseline = sweep true in
+      Alcotest.(check string)
+        (name ^ ": jobs=1 annotated = unannotated")
+        baseline (sweep false);
+      Pool.with_pool ~jobs:4 (fun pool ->
+          Alcotest.(check string)
+            (name ^ ": jobs=4 annotated")
+            baseline (sweep ?pool true);
+          Alcotest.(check string)
+            (name ^ ": jobs=4 unannotated")
+            baseline (sweep ?pool false)))
+    [ M.Sfs; M.Free; M.Tail ]
+
 let () =
   Alcotest.run "analysis"
     [
@@ -162,5 +320,13 @@ let () =
           Alcotest.test_case "percent" `Quick test_percent;
           Alcotest.test_case "totals" `Quick test_totals_add;
           Alcotest.test_case "figure 2 shape over corpus" `Quick test_corpus_wide_claim;
+        ] );
+      ( "annotation-pass",
+        [
+          QCheck_alcotest.to_alcotest prop_fv_agrees;
+          QCheck_alcotest.to_alcotest prop_interned_shared;
+          QCheck_alcotest.to_alcotest prop_secd_compile_equal;
+          Alcotest.test_case "sweeps byte-identical, jobs 1 and 4" `Quick
+            test_annot_sweep_identical;
         ] );
     ]

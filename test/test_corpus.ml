@@ -26,7 +26,7 @@ let test_find () =
   Alcotest.(check bool) "find miss" true (Option.is_none (C.find "nonesuch"))
 
 let run_check variant (e : C.entry) (n, expected) =
-  let m = R.run_once ~variant ~program:(C.program e) ~n () in
+  let m = R.run_once ~config:(M.Config.make ~variant ()) ~program:(C.program e) ~n () in
   match m.R.status with
   | R.Answer a ->
       Alcotest.(check string)
@@ -56,7 +56,7 @@ let test_every_entry_is_unary_procedure () =
     (fun (e : C.entry) ->
       match e.C.checks with
       | (n, _) :: _ ->
-          let m = R.run_once ~variant:M.Tail ~program:(C.program e) ~n () in
+          let m = R.run_once ~config:(M.Config.make ~variant:M.Tail ()) ~program:(C.program e) ~n () in
           (match m.R.status with
           | R.Answer _ -> ()
           | R.Stuck msg -> Alcotest.failf "%s not runnable: %s" e.C.name msg
@@ -79,7 +79,7 @@ let test_separators_answer () =
       let program = E.program_of_string src in
       List.iter
         (fun variant ->
-          let m = R.run_once ~variant ~program ~n:6 () in
+          let m = R.run_once ~config:(M.Config.make ~variant ()) ~program ~n:6 () in
           match m.R.status with
           | R.Answer a ->
               Alcotest.(check string)
@@ -94,7 +94,7 @@ let test_pk_program_generates () =
   List.iter
     (fun k ->
       let program = E.program_of_string (F.pk_program k) in
-      let m = R.run_once ~variant:M.Tail ~program ~n:(Stdlib.max 1 k) () in
+      let m = R.run_once ~config:(M.Config.make ~variant:M.Tail ()) ~program ~n:(Stdlib.max 1 k) () in
       match m.R.status with
       | R.Answer a ->
           (* the chosen thunk returns (list i x0 ... xk) with i = 1..n *)
@@ -113,7 +113,8 @@ let test_pk_size_grows () =
 let test_find_leftmost_family_answers () =
   let run src n =
     let m =
-      R.run_once ~variant:M.Tail ~program:(E.program_of_string src) ~n ()
+      R.run_once ~config:(M.Config.make ~variant:M.Tail ())
+        ~program:(E.program_of_string src) ~n ()
     in
     match m.R.status with
     | R.Answer a -> a
@@ -129,7 +130,7 @@ let test_find_leftmost_family_answers () =
 
 let test_cps_loop_answer () =
   let program = E.program_of_string F.cps_loop in
-  let m = R.run_once ~variant:M.Tail ~program ~n:100 () in
+  let m = R.run_once ~config:(M.Config.make ~variant:M.Tail ()) ~program ~n:100 () in
   match m.R.status with
   | R.Answer a -> Alcotest.(check string) "gauss sum" "5050" a
   | _ -> Alcotest.fail "cps loop failed"

@@ -24,9 +24,9 @@ let secd_answer ?(proper = true) src n =
   | S.Aborted _ -> "fuel"
 
 let reference_answer src n =
-  let t = M.create () in
+  let t = M.create_with M.Config.default in
   let program = E.program_of_string src in
-  match (M.run_program t ~program ~input:(input n)).M.outcome with
+  match (M.exec_program t ~program ~input:(input n)).M.outcome with
   | M.Done { answer; _ } -> answer
   | M.Stuck m -> "error: " ^ m
   | M.Aborted _ -> "fuel"
@@ -252,9 +252,9 @@ let arb = QCheck.make ~print:A.to_string gen_expr
 let prop_three_implementations_agree =
   QCheck.Test.make ~name:"machine = SECD = denotational on random programs"
     ~count:150 arb (fun e ->
-      let m = M.create () in
+      let m = M.create_with M.Config.default in
       let machine =
-        match (M.run m e).M.outcome with
+        match (M.exec m e).M.outcome with
         | M.Done { answer; _ } -> answer
         | _ -> "fail"
       in

@@ -65,8 +65,8 @@ let gen_expr =
 let arb_expr = QCheck.make ~print:A.to_string gen_expr
 
 let run_variant ?(perm = M.Left_to_right) variant e =
-  let t = M.create ~variant ~perm () in
-  let r = M.run ~fuel:2_000_000 t e in
+  let t = M.create_with (M.Config.make ~variant ~perm ()) in
+  let r = M.exec ~opts:(M.Run_opts.make ~fuel:2_000_000 ()) t e in
   (r.M.outcome, M.space_consumption r)
 
 let answer_of = function

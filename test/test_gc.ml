@@ -140,9 +140,11 @@ let test_gc_does_not_change_answers () =
      flat peaks must match the lazy schedule *)
   List.iter
     (fun src ->
-      let t = M.create () in
-      let lazy_r = M.run_string t src in
-      let eager_r = M.run_string ~measure_linked:true t src in
+      let t = M.create_with M.Config.default in
+      let lazy_r = M.exec_string t src in
+      let eager_r =
+        M.exec_string ~opts:(M.Run_opts.make ~measure_linked:true ()) t src
+      in
       match (lazy_r.M.outcome, eager_r.M.outcome) with
       | M.Done { answer = a1; _ }, M.Done { answer = a2; _ } ->
           Alcotest.(check string) "answers agree" a1 a2;
@@ -156,9 +158,9 @@ let test_gc_does_not_change_answers () =
     ]
 
 let test_gc_counts_reported () =
-  let t = M.create () in
+  let t = M.create_with M.Config.default in
   let r =
-    M.run_string t
+    M.exec_string t
       "(define (churn n) (if (zero? n) 'ok (churn (- n 1)))) (churn 2000)"
   in
   Alcotest.(check bool) "collector ran" true (r.M.gc_runs > 0)

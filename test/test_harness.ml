@@ -61,7 +61,7 @@ let test_table_render () =
 
 let test_runner_sweep () =
   let program = E.program_of_string "(define (f n) (* n n)) f" in
-  let ms = R.sweep ~variant:M.Tail ~program ~ns:[ 2; 3; 4 ] () in
+  let ms = R.sweep ~config:(M.Config.make ~variant:M.Tail ()) ~program ~ns:[ 2; 3; 4 ] () in
   Alcotest.(check int) "three runs" 3 (List.length ms);
   Alcotest.(check bool) "all answered" true (R.all_answered ms);
   let answers =
@@ -72,7 +72,7 @@ let test_runner_sweep () =
 
 let test_runner_stuck_excluded () =
   let program = E.program_of_string "(define (f n) (car n)) f" in
-  let ms = R.sweep ~variant:M.Tail ~program ~ns:[ 1; 2 ] () in
+  let ms = R.sweep ~config:(M.Config.make ~variant:M.Tail ()) ~program ~ns:[ 1; 2 ] () in
   Alcotest.(check bool) "not all answered" false (R.all_answered ms);
   Alcotest.(check int) "spaces empty" 0 (List.length (R.spaces ms))
 

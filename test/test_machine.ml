@@ -7,8 +7,13 @@ module E = Tailspace_expander.Expand
 module Res = Tailspace_resilience.Resilience
 
 let answer ?(variant = M.Tail) ?perm ?stack_policy ?fuel src =
-  let t = M.create ~variant ?perm ?stack_policy () in
-  match (M.run_string ?fuel t src).M.outcome with
+  let t = M.create_with (M.Config.make ~variant ?perm ?stack_policy ()) in
+  let opts =
+    match fuel with
+    | Some fuel -> M.Run_opts.make ~fuel ()
+    | None -> M.Run_opts.default
+  in
+  match (M.exec_string ~opts t src).M.outcome with
   | M.Done { answer; _ } -> answer
   | M.Stuck m -> "stuck: " ^ m
   | M.Aborted { reason; _ } ->
@@ -118,21 +123,27 @@ let test_call_cc () =
   check_stuck "continuation arity" "(call/cc (lambda (k) (k 1 2)))" "1 value"
 
 let test_output () =
-  let t = M.create () in
-  let r = M.run_string t "(display 'hello) (newline) (display (list 1 2)) 'done" in
+  let t = M.create_with M.Config.default in
+  let r =
+    M.exec_string t "(display 'hello) (newline) (display (list 1 2)) 'done"
+  in
   (match r.M.outcome with
   | M.Done { answer; _ } -> Alcotest.(check string) "answer" "done" answer
   | _ -> Alcotest.fail "expected Done");
   Alcotest.(check string) "output" "hello\n(1 2)" r.M.output
 
 let test_display_vs_write () =
-  let t = M.create () in
-  let r = M.run_string t "(display \"a\\nb\") (write \"a\\nb\") 0" in
+  let t = M.create_with M.Config.default in
+  let r = M.exec_string t "(display \"a\\nb\") (write \"a\\nb\") 0" in
   Alcotest.(check string) "display raw, write escaped" "a\nb\"a\\nb\"" r.M.output
 
 let test_fuel () =
-  let t = M.create () in
-  let r = M.run_string ~fuel:100 t "(define (spin) (spin)) (spin)" in
+  let t = M.create_with M.Config.default in
+  let r =
+    M.exec_string
+      ~opts:(M.Run_opts.make ~fuel:100 ())
+      t "(define (spin) (spin)) (spin)"
+  in
   (match r.M.outcome with
   | M.Aborted { reason = Res.Out_of_fuel { limit }; steps; _ } ->
       Alcotest.(check int) "abort carries the limit" 100 limit;
@@ -149,8 +160,10 @@ let test_approximate_gc_bound () =
     "(define (build n) (if (zero? n) '() (cons n (build (- n 1))))) (build 200)"
   in
   let peak policy =
-    let t = M.create () in
-    let r = M.run_string ~gc_policy:policy t src in
+    let t = M.create_with M.Config.default in
+    let r =
+      M.exec_string ~opts:(M.Run_opts.make ~gc_policy:policy ()) t src
+    in
     match r.M.outcome with
     | M.Done _ -> r.M.peak_space
     | _ -> Alcotest.fail "build run failed"
@@ -206,7 +219,7 @@ let test_variant_answers_each () =
     M.all_variants
 
 let test_eval_and_define_global () =
-  let t = M.create () in
+  let t = M.create_with M.Config.default in
   (match M.define_global t "double" (E.expression_of_string "(lambda (x) (* 2 x))") with
   | Ok () -> ()
   | Error m -> Alcotest.fail m);
@@ -227,10 +240,10 @@ let test_eval_and_define_global () =
   | _ -> Alcotest.fail "expected symbol"
 
 let test_run_program_convention () =
-  let t = M.create () in
+  let t = M.create_with M.Config.default in
   let program = E.program_of_string "(define (f n) (* n n)) f" in
   let input = Tailspace_ast.Ast.(Quote (C_int (Tailspace_bignum.Bignum.of_int 9))) in
-  match (M.run_program t ~program ~input).M.outcome with
+  match (M.exec_program t ~program ~input).M.outcome with
   | M.Done { answer; _ } -> Alcotest.(check string) "squares" "81" answer
   | _ -> Alcotest.fail "expected Done"
 
@@ -246,26 +259,38 @@ let test_promises () =
   check "promises are values"
     "(define p (delay 10)) (list (force p) (force p))" "(10 10)"
 
-let test_hooks () =
-  let t = M.create () in
-  let steps_seen = ref 0 in
-  let max_space = ref 0 in
-  let traced = ref [] in
-  let r =
-    M.run_string
-      ~on_step:(fun ~steps:_ ~space ->
-        incr steps_seen;
-        max_space := Stdlib.max !max_space space)
-      ~trace:(fun _ line -> traced := line :: !traced)
-      t "(+ 1 2)"
-  in
-  Alcotest.(check bool) "hook per step" true (!steps_seen >= r.M.steps);
-  Alcotest.(check bool) "profile sees the peak" true (!max_space >= r.M.peak_space);
-  Alcotest.(check bool) "trace nonempty" true (List.length !traced >= r.M.steps);
-  Alcotest.(check bool) "trace mentions control" true
-    (List.exists
-       (fun l -> String.length l > 2 && (l.[0] = 'E' || l.[0] = 'V'))
-       !traced)
+(* The deprecated create/run_string + on_step/trace surface is kept as
+   a shim over Config/Run_opts and telemetry until its removal (noted in
+   DESIGN.md); this test exercises the shim deliberately. *)
+module Legacy_shims = struct
+  [@@@alert "-deprecated"]
+  [@@@warning "-3"]
+
+  let test_hooks () =
+    let t = M.create () in
+    let steps_seen = ref 0 in
+    let max_space = ref 0 in
+    let traced = ref [] in
+    let r =
+      M.run_string
+        ~on_step:(fun ~steps:_ ~space ->
+          incr steps_seen;
+          max_space := Stdlib.max !max_space space)
+        ~trace:(fun _ line -> traced := line :: !traced)
+        t "(+ 1 2)"
+    in
+    Alcotest.(check bool) "hook per step" true (!steps_seen >= r.M.steps);
+    Alcotest.(check bool)
+      "profile sees the peak" true
+      (!max_space >= r.M.peak_space);
+    Alcotest.(check bool)
+      "trace nonempty" true
+      (List.length !traced >= r.M.steps);
+    Alcotest.(check bool) "trace mentions control" true
+      (List.exists
+         (fun l -> String.length l > 2 && (l.[0] = 'E' || l.[0] = 'V'))
+         !traced)
+end
 
 let test_random_deterministic () =
   let one () = answer "(list (random 10) (random 10) (random 10))" in
@@ -333,6 +358,7 @@ let () =
           Alcotest.test_case "run_program" `Quick test_run_program_convention;
           Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
           Alcotest.test_case "promises" `Quick test_promises;
-          Alcotest.test_case "profiling hooks" `Quick test_hooks;
+          Alcotest.test_case "profiling hooks (legacy shims)" `Quick
+            Legacy_shims.test_hooks;
         ] );
     ]

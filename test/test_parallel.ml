@@ -110,15 +110,14 @@ let countdown =
 
 let test_sweep_parallel_equals_serial () =
   let ns = [ 10; 20; 40; 80 ] in
-  let serial = R.sweep ~variant:M.Tail ~program:countdown ~ns () in
+  let tail = M.Config.make ~variant:M.Tail () in
+  let serial = R.sweep ~config:tail ~program:countdown ~ns () in
   with_test_pool ~jobs:4 @@ fun pool ->
-  let parallel = R.sweep ~pool ~variant:M.Tail ~program:countdown ~ns () in
+  let parallel = R.sweep ~pool ~config:tail ~program:countdown ~ns () in
   Alcotest.(check bool) "identical measurement lists" true (serial = parallel);
-  let s_serial =
-    R.sweep_supervised ~variant:M.Tail ~program:countdown ~ns ()
-  in
+  let s_serial = R.sweep_supervised ~config:tail ~program:countdown ~ns () in
   let s_parallel =
-    R.sweep_supervised ~pool ~variant:M.Tail ~program:countdown ~ns ()
+    R.sweep_supervised ~pool ~config:tail ~program:countdown ~ns ()
   in
   Alcotest.(check bool) "identical supervised sweeps" true
     (s_serial = s_parallel)
@@ -128,7 +127,8 @@ let test_sweep_cache_warm () =
   let cache = Cache.create ~dir () in
   let ns = [ 10; 20; 40 ] in
   let sweep () =
-    R.sweep ~cache ~cache_source:"test:countdown" ~variant:M.Tail
+    R.sweep ~cache ~cache_source:"test:countdown"
+      ~config:(M.Config.make ~variant:M.Tail ())
       ~program:countdown ~ns ~collect_telemetry:true ()
   in
   let cold = sweep () in
@@ -141,25 +141,29 @@ let test_sweep_cache_warm () =
   (* a second process (fresh cache over the same directory) also replays *)
   let cache2 = Cache.create ~dir () in
   let replay =
-    R.sweep ~cache:cache2 ~cache_source:"test:countdown" ~variant:M.Tail
+    R.sweep ~cache:cache2 ~cache_source:"test:countdown"
+      ~config:(M.Config.make ~variant:M.Tail ())
       ~program:countdown ~ns ~collect_telemetry:true ()
   in
   Alcotest.(check int) "disk hits" 3 (Cache.hits cache2);
   Alcotest.(check bool) "disk replay equals cold" true (cold = replay);
   (* a different configuration does not alias *)
   let _ =
-    R.sweep ~cache:cache2 ~cache_source:"test:countdown" ~variant:M.Gc
+    R.sweep ~cache:cache2 ~cache_source:"test:countdown"
+      ~config:(M.Config.make ~variant:M.Gc ())
       ~program:countdown ~ns ~collect_telemetry:true ()
   in
   Alcotest.(check int) "other variant misses" 3 (Cache.misses cache2)
 
 let test_measurement_json_roundtrip () =
+  let gc = M.Config.make ~variant:M.Gc () in
   let ms =
-    R.sweep ~variant:M.Gc ~program:countdown ~ns:[ 12 ]
-      ~collect_telemetry:true ()
+    R.sweep ~config:gc ~program:countdown ~ns:[ 12 ] ~collect_telemetry:true ()
   in
   let aborted =
-    R.sweep ~fuel:10 ~variant:M.Gc ~program:countdown ~ns:[ 1000 ] ()
+    R.sweep
+      ~opts:(M.Run_opts.make ~fuel:10 ())
+      ~config:gc ~program:countdown ~ns:[ 1000 ] ()
   in
   List.iter
     (fun (m : R.measurement) ->
@@ -235,9 +239,9 @@ let test_profile_invariant =
 
 let test_merge_summaries () =
   let summarize src =
-    let t = M.create () in
+    let t = M.create_with M.Config.default in
     let tl = Tel.create () in
-    ignore (M.run_string ~telemetry:tl t src);
+    ignore (M.exec_string ~opts:(M.Run_opts.make ~telemetry:tl ()) t src);
     Tel.summary tl
   in
   let a = summarize "(list 1 2 3)" in

@@ -19,8 +19,11 @@ let build =
 let countdown = "(define (count n) (if (zero? n) 0 (count (- n 1)))) count"
 
 let run ?budget ?fault ?(src = spin) ?(n = 1) ?(variant = M.Tail) () =
-  let t = M.create ~variant () in
-  M.run_program ?budget ?fault t ~program:(E.program_of_string src)
+  let t = M.create_with (M.Config.make ~variant ()) in
+  M.exec_program
+    ~opts:(M.Run_opts.make ?budget ?fault ())
+    t
+    ~program:(E.program_of_string src)
     ~input:(R.input_expr n)
 
 let abort_reason (r : M.result) =
@@ -81,10 +84,14 @@ let test_forced_gc_invariance () =
   let program = E.program_of_string build in
   List.iter
     (fun variant ->
-      let base = R.run_once ~variant ~program ~n:50 () in
+      let config = M.Config.make ~variant () in
+      let base = R.run_once ~config ~program ~n:50 () in
       List.iter
         (fun fault ->
-          let m = R.run_once ~variant ~program ~n:50 ~fault () in
+          let m =
+            R.run_once ~opts:(M.Run_opts.make ~fault ()) ~config ~program
+              ~n:50 ()
+          in
           (match (base.R.status, m.R.status) with
           | R.Answer a, R.Answer b ->
               Alcotest.(check string)
@@ -111,6 +118,10 @@ let test_oracle_small () =
   Alcotest.(check bool) "oracle ok" true report.Oracle.ok;
   Alcotest.(check bool)
     "algol dangling reachable" true report.Oracle.algol_stuck_on_demand;
+  Alcotest.(check bool)
+    "annotation invariance holds" true report.Oracle.annot_invariant;
+  Alcotest.(check (list string))
+    "no annotation mismatches" [] report.Oracle.annot_failures;
   Alcotest.(check bool)
     "render mentions OK" true
     (String.length (Oracle.render report) > 0)
@@ -144,8 +155,10 @@ let prop_budgets_never_escape =
         | _ -> Res.Fault.make ~fuel_drop:(fuel, 3) ()
       in
       match
-        R.run_once ~budget ~fault ~variant ~program:(Corpus.program entry) ~n
-          ()
+        R.run_once
+          ~opts:(M.Run_opts.make ~budget ~fault ())
+          ~config:(M.Config.make ~variant ())
+          ~program:(Corpus.program entry) ~n ()
       with
       | (_ : R.measurement) -> true
       | exception e ->
@@ -160,7 +173,7 @@ let test_supervisor_partial_table () =
   let src = "(define (f n) (if (< n 10) n (f n))) f" in
   let s =
     R.sweep_supervised ~initial_fuel:2_000 ~max_attempts:2 ~fuel_cap:10_000
-      ~variant:M.Tail
+      ~config:(M.Config.make ~variant:M.Tail ())
       ~program:(E.program_of_string src)
       ~ns:[ 1; 2; 99 ] ()
   in
@@ -179,7 +192,8 @@ let test_supervisor_partial_table () =
 let test_supervisor_escalation () =
   (* needs more steps than the first attempt's fuel; escalation finds it *)
   let s =
-    R.sweep_supervised ~initial_fuel:100 ~max_attempts:6 ~variant:M.Tail
+    R.sweep_supervised ~initial_fuel:100 ~max_attempts:6
+      ~config:(M.Config.make ~variant:M.Tail ())
       ~program:(E.program_of_string countdown)
       ~ns:[ 500 ] ()
   in

@@ -53,7 +53,7 @@ let test_cont_space () =
   check_int "assign chains" 7 (T.cont_space asn);
   let psh =
     T.push ~pending:0 ~remaining:[ (1, e); (2, e) ]
-      ~evaluated:[ (0, T.Bool true) ] ~env:env2 ~next:T.Halt
+      ~evaluated:[ (0, T.Bool true) ] ~env:env2 ~next:T.Halt ()
   in
   (* 1 + m(2) + n(1) + |dom|(2) + halt(1) *)
   check_int "push" 7 (T.cont_space psh);
@@ -137,8 +137,10 @@ let test_linked_leq_flat_on_runs () =
   (* U_X <= S_X pointwise (§13), checked on real measured runs *)
   List.iter
     (fun (variant, src) ->
-      let t = M.create ~variant () in
-      let r = M.run_string ~measure_linked:true t src in
+      let t = M.create_with (M.Config.make ~variant ()) in
+      let r =
+        M.exec_string ~opts:(M.Run_opts.make ~measure_linked:true ()) t src
+      in
       match (r.M.outcome, r.M.peak_linked) with
       | M.Done _, Some u ->
           Alcotest.(check bool)
@@ -156,8 +158,8 @@ let test_linked_leq_flat_on_runs () =
 (* --- measured hierarchy --- *)
 
 let space_of variant src =
-  let t = M.create ~variant () in
-  let r = M.run_string t src in
+  let t = M.create_with (M.Config.make ~variant ()) in
+  let r = M.exec_string t src in
   match r.M.outcome with
   | M.Done _ -> M.space_consumption r
   | M.Stuck m -> Alcotest.failf "stuck: %s" m
@@ -189,9 +191,9 @@ let test_theorem24_chain_samples () =
     ]
 
 let test_space_consumption_includes_program_size () =
-  let t = M.create () in
+  let t = M.create_with M.Config.default in
   let e = E.expression_of_string "(+ 1 2)" in
-  let r = M.run t e in
+  let r = M.exec t e in
   Alcotest.(check int) "|P|" (A.size e) r.M.program_size;
   Alcotest.(check int) "S = |P| + peak" (r.M.program_size + r.M.peak_space)
     (M.space_consumption r)
@@ -218,10 +220,12 @@ let test_improper_linear_space () =
     (float_of_int s400 >= 2.5 *. float_of_int s100)
 
 let test_exact_vs_approximate_policy () =
-  let t = M.create () in
+  let t = M.create_with M.Config.default in
   let src = "(define (build n) (if (zero? n) '() (cons n (build (- n 1))))) (length (build 50))" in
-  let exact = M.run_string ~gc_policy:`Exact t src in
-  let approx = M.run_string ~gc_policy:`Approximate t src in
+  let exact = M.exec_string ~opts:(M.Run_opts.make ~gc_policy:`Exact ()) t src in
+  let approx =
+    M.exec_string ~opts:(M.Run_opts.make ~gc_policy:`Approximate ()) t src
+  in
   Alcotest.(check bool) "approx is a lower bound" true
     (approx.M.peak_space <= exact.M.peak_space);
   Alcotest.(check bool) "within documented slack" true

@@ -12,9 +12,9 @@ module R = Tailspace_harness.Runner
 module Table = Tailspace_harness.Table
 
 let run ?(variant = M.Tail) ?stack_policy ?(ring = 0) ?sink ?profile src =
-  let t = M.create ~variant ?stack_policy () in
+  let t = M.create_with (M.Config.make ~variant ?stack_policy ()) in
   let tl = Tel.create ?sink ~ring ?profile () in
-  let r = M.run_string ~telemetry:tl t src in
+  let r = M.exec_string ~opts:(M.Run_opts.make ~telemetry:tl ()) t src in
   (r, tl)
 
 let count_25 =
@@ -143,36 +143,45 @@ let test_json_parser () =
   | Ok _ -> Alcotest.fail "trailing comma accepted"
   | Error _ -> ()
 
-(* on_step and trace are shims over the telemetry observation point:
-   they must see exactly the Step events / ring descriptions. *)
-let test_shims () =
-  let src = count_25 in
-  let events = ref [] in
-  let sink = function
-    | Tel.Step { step; space; _ } -> events := (step, space) :: !events
-    | _ -> ()
-  in
-  let steps_seen = ref [] in
-  let t = M.create () in
-  let tl = Tel.create ~sink () in
-  let _ =
-    M.run_string ~telemetry:tl
-      ~on_step:(fun ~steps ~space -> steps_seen := (steps, space) :: !steps_seen)
-      t src
-  in
-  Alcotest.(check (list (pair int int)))
-    "on_step sees the Step events" (List.rev !events) (List.rev !steps_seen);
-  (* trace sees the same descriptions the ring records *)
-  let traced = ref [] in
-  let t = M.create ~variant:M.Stack ~stack_policy:M.Algol () in
-  let tl = Tel.create ~ring:1000 () in
-  let _ =
-    M.run_string ~telemetry:tl
-      ~trace:(fun step d -> traced := (step, d) :: !traced)
-      t "(define (make n) (lambda () n)) ((make 5))"
-  in
-  Alcotest.(check (list (pair int string)))
-    "trace sees the ring descriptions" (Tel.ring_contents tl) (List.rev !traced)
+(* on_step and trace are deprecated shims over the telemetry
+   observation point (kept until the removal noted in DESIGN.md): they
+   must see exactly the Step events / ring descriptions. This test
+   exercises the deprecated surface deliberately. *)
+module Legacy_shims = struct
+  [@@@alert "-deprecated"]
+  [@@@warning "-3"]
+
+  let test_shims () =
+    let src = count_25 in
+    let events = ref [] in
+    let sink = function
+      | Tel.Step { step; space; _ } -> events := (step, space) :: !events
+      | _ -> ()
+    in
+    let steps_seen = ref [] in
+    let t = M.create () in
+    let tl = Tel.create ~sink () in
+    let _ =
+      M.run_string ~telemetry:tl
+        ~on_step:(fun ~steps ~space ->
+          steps_seen := (steps, space) :: !steps_seen)
+        t src
+    in
+    Alcotest.(check (list (pair int int)))
+      "on_step sees the Step events" (List.rev !events) (List.rev !steps_seen);
+    (* trace sees the same descriptions the ring records *)
+    let traced = ref [] in
+    let t = M.create ~variant:M.Stack ~stack_policy:M.Algol () in
+    let tl = Tel.create ~ring:1000 () in
+    let _ =
+      M.run_string ~telemetry:tl
+        ~trace:(fun step d -> traced := (step, d) :: !traced)
+        t "(define (make n) (lambda () n)) ((make 5))"
+    in
+    Alcotest.(check (list (pair int string)))
+      "trace sees the ring descriptions" (Tel.ring_contents tl)
+      (List.rev !traced)
+end
 
 (* The profile recorder downsamples by doubling its stride once the
    sample buffer fills, so memory stays bounded. *)
@@ -223,9 +232,10 @@ let test_denotational_telemetry () =
    on demand; the table renders the new columns. *)
 let test_harness_telemetry () =
   let program = expand "(lambda (n) n)" in
-  let m = R.run_once ~variant:M.Tail ~program ~n:7 () in
+  let config = M.Config.make ~variant:M.Tail () in
+  let m = R.run_once ~config ~program ~n:7 () in
   Alcotest.(check bool) "summary off by default" true (m.R.summary = None);
-  let m = R.run_once ~collect_telemetry:true ~variant:M.Tail ~program ~n:7 () in
+  let m = R.run_once ~collect_telemetry:true ~config ~program ~n:7 () in
   (match m.R.summary with
   | None -> Alcotest.fail "collect_telemetry did not produce a summary"
   | Some s ->
@@ -264,7 +274,7 @@ let () =
         ] );
       ( "plumbing",
         [
-          Alcotest.test_case "legacy shims" `Quick test_shims;
+          Alcotest.test_case "legacy shims" `Quick Legacy_shims.test_shims;
           Alcotest.test_case "profile downsampling" `Quick
             test_profile_downsampling;
           Alcotest.test_case "secd" `Quick test_secd_telemetry;
