@@ -166,6 +166,43 @@ let annot_benches =
       ])
     [ ("sfs", M.Sfs); ("free", M.Free) ]
 
+(* The execution tiers head-to-head on the same (program, input): the
+   Tail stepper, the instrumented VM (same accounting, so it should sit
+   within noise of the stepper), the fast VM end-to-end (compile +
+   prelude + run), the fast VM with compilation hoisted out (the pure
+   dispatch-loop cost), and the SECD engine for reference. *)
+let vm_benches =
+  let module Vm = Tailspace_vm.Vm in
+  let module Ast = Tailspace_ast.Ast in
+  let entry name = Corpus.program (Option.get (Corpus.find name)) in
+  let tiers name program n =
+    [
+      Test.make ~name:(name ^ ".stepper")
+        (stage_run ~variant:M.Tail program n);
+      Test.make
+        ~name:(name ^ ".vm-instrumented")
+        (let config = M.Config.make ~engine:M.Vm () in
+         Staged.stage (fun () ->
+             ignore (Vm.exec_program config ~program ~input:(R.input_expr n))));
+      Test.make ~name:(name ^ ".vm-fast")
+        (let config = M.Config.make ~engine:M.Vm_fast () in
+         Staged.stage (fun () ->
+             ignore (Vm.exec_program config ~program ~input:(R.input_expr n))));
+      Test.make
+        ~name:(name ^ ".vm-fast-precompiled")
+        (let compiled = Vm.compile (Ast.Call (program, [ R.input_expr n ])) in
+         Staged.stage (fun () -> ignore (Vm.run_fast compiled)));
+      Test.make ~name:(name ^ ".secd")
+        (Staged.stage (fun () ->
+             ignore
+               (Tailspace_engines.Secd.run_program ~program
+                  ~input:(R.input_expr n) ())));
+    ]
+  in
+  tiers "countdown" (entry "countdown") 2000
+  @ tiers "fib-naive" (entry "fib-naive") 15
+  @ tiers "even-odd" (entry "even-odd") 2000
+
 let run_benches () =
   let tests =
     Test.make_grouped ~name:"bench"
@@ -174,6 +211,7 @@ let run_benches () =
         Test.make_grouped ~name:"variants" variant_benches;
         Test.make_grouped ~name:"telemetry" telemetry_benches;
         Test.make_grouped ~name:"annot" annot_benches;
+        Test.make_grouped ~name:"vm" vm_benches;
       ]
   in
   let cfg =

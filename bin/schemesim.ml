@@ -33,6 +33,8 @@ module Oracle = Tailspace_harness.Oracle
 module Families = Tailspace_corpus.Families
 module Pool = Tailspace_parallel.Pool
 module Mcache = Tailspace_parallel.Cache
+module Vm = Tailspace_vm.Vm
+module Ast = Tailspace_ast.Ast
 
 let read_file path =
   let ic = open_in_bin path in
@@ -177,6 +179,53 @@ let stack_policy_arg =
   in
   Arg.(value & opt cv M.Safe_deletion & info [ "stack-policy" ] ~docv:"POLICY" ~doc)
 
+let engine_arg =
+  let cv =
+    let parse s =
+      match M.engine_of_name s with
+      | Some e -> Ok e
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown engine %S (expected %s)" s
+                 (String.concat "|" (List.map M.engine_name M.all_engines))))
+    in
+    Arg.conv (parse, fun ppf e -> Format.pp_print_string ppf (M.engine_name e))
+  in
+  let doc =
+    "Execution tier: stepper (the AST-walking reference machines, default), \
+     vm (the instrumented bytecode VM — bit-compatible measurements, Tail \
+     variant only), or vm-fast (the bytecode VM with accounting compiled \
+     out: answers only, much faster)."
+  in
+  Arg.(value & opt cv M.Stepper & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let vm_fast_arg =
+  let doc = "Shorthand for --engine vm-fast." in
+  Arg.(value & flag & info [ "vm-fast" ] ~doc)
+
+(* The VM tiers refuse configurations whose accounting they cannot
+   honor; surface that as a usage error (exit 2) before running. *)
+let resolve_engine ~engine ~vm_fast ~variant ~perm ~linked =
+  let engine = if vm_fast then M.Vm_fast else engine in
+  let usage m =
+    Format.eprintf "schemesim: %s@." m;
+    exit 2
+  in
+  (match engine with
+  | M.Stepper -> ()
+  | M.Vm ->
+      if variant <> M.Tail then
+        usage "--engine vm supports only the tail variant (-v tail)"
+  | M.Vm_fast ->
+      if variant <> M.Tail then
+        usage "--engine vm-fast supports only the tail variant (-v tail)";
+      if perm <> M.Left_to_right then
+        usage "--engine vm-fast evaluates left-to-right only (--perm ltr)";
+      if linked then
+        usage "--engine vm-fast cannot measure linked space (drop --linked)");
+  engine
+
 let fuel_arg =
   let doc = "Maximum number of machine steps." in
   Arg.(value & opt int 20_000_000 & info [ "fuel" ] ~docv:"STEPS" ~doc)
@@ -291,13 +340,115 @@ let run_cmd =
     in
     Arg.(value & opt int 16 & info [ "ring" ] ~docv:"K" ~doc)
   in
-  let run file expr input variant perm stack_policy no_annot fuel timeout
-      space_budget output_cap linked trace_steps profile json ring =
+  let run file expr input variant perm stack_policy no_annot engine vm_fast
+      fuel timeout space_budget output_cap linked trace_steps profile json
+      ring =
     with_program file expr @@ fun program_name program ->
+    let engine = resolve_engine ~engine ~vm_fast ~variant ~perm ~linked in
     let budget =
       make_budget ?timeout_s:timeout ?space_words:space_budget
         ?output_bytes:output_cap ()
     in
+    (match engine with
+    | M.Stepper -> ()
+    | _ ->
+        if trace_steps > 0 then begin
+          Format.eprintf
+            "schemesim: --trace requires the stepper engine (the VM does not \
+             describe per-step configurations)@.";
+          exit 2
+        end;
+        if input = None then begin
+          Format.eprintf
+            "schemesim: --engine %s requires --input N (the VM runs §12's \
+             procedure-of-one-argument convention)@."
+            (M.engine_name engine);
+          exit 2
+        end);
+    if engine <> M.Stepper then begin
+      let config =
+        M.Config.make ~engine ~variant ~perm ~stack_policy
+          ~annotate:(not no_annot) ()
+      in
+      let profile_channel = Option.map open_out profile in
+      let sink =
+        Option.map
+          (fun oc -> function
+            | Tel.Step { step; space; _ } ->
+                Printf.fprintf oc "%d,%d\n" step space
+            | _ -> ())
+          profile_channel
+      in
+      let telemetry = Tel.create ?sink ~ring () in
+      let opts =
+        M.Run_opts.make ~fuel ~budget ~measure_linked:linked ~telemetry ()
+      in
+      let n = Option.get input in
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Option.iter close_out profile_channel)
+          (fun () -> Vm.exec_program ~opts config ~program ~input:(R.input_expr n))
+      in
+      let space = r.Vm.program_size + r.Vm.peak_space in
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("program", Json.Str program_name);
+                  ("engine", Json.Str (M.engine_name engine));
+                  ("variant", Json.Str (M.variant_name variant));
+                  ( "outcome",
+                    Json.Str
+                      (match r.Vm.outcome with
+                      | Vm.Done _ -> "done"
+                      | Vm.Stuck _ -> "stuck"
+                      | Vm.Aborted _ -> "aborted") );
+                  ( "exit_code",
+                    Json.Int
+                      (match r.Vm.outcome with Vm.Done _ -> 0 | _ -> 1) );
+                  ( "answer",
+                    match r.Vm.outcome with
+                    | Vm.Done a -> Json.Str a
+                    | _ -> Json.Null );
+                  ( "error",
+                    match r.Vm.outcome with
+                    | Vm.Stuck m -> Json.Str m
+                    | Vm.Aborted reason ->
+                        Json.Str (Res.abort_reason_message reason)
+                    | Vm.Done _ -> Json.Null );
+                  ( "abort",
+                    match r.Vm.outcome with
+                    | Vm.Aborted reason -> Res.abort_reason_to_json reason
+                    | _ -> Json.Null );
+                  ("program_size", Json.Int r.Vm.program_size);
+                  ("space_consumption", Json.Int space);
+                  ("steps", Json.Int r.Vm.steps);
+                  ("peak_space", Json.Int r.Vm.peak_space);
+                  ("gc_runs", Json.Int r.Vm.gc_runs);
+                  ( "peak_linked",
+                    match r.Vm.peak_linked with
+                    | Some l -> Json.Int l
+                    | None -> Json.Null );
+                ]))
+      else begin
+        if r.Vm.output <> "" then print_string r.Vm.output;
+        (match r.Vm.outcome with
+        | Vm.Done answer -> Format.printf "%s@." answer
+        | Vm.Stuck m -> Format.printf "stuck: %s@." m
+        | Vm.Aborted reason ->
+            Format.printf "aborted: %s@." (Res.abort_reason_message reason));
+        Format.printf
+          "; engine=%s variant=%s steps=%d |P|=%d peak=%d S=|P|+peak=%d \
+           gc-runs=%d@."
+          (M.engine_name engine) (M.variant_name variant) r.Vm.steps
+          r.Vm.program_size r.Vm.peak_space space r.Vm.gc_runs;
+        match r.Vm.peak_linked with
+        | Some u -> Format.printf "; linked peak U=%d@." (u + r.Vm.program_size)
+        | None -> ()
+      end;
+      match r.Vm.outcome with Vm.Done _ -> exit 0 | _ -> exit 1
+    end;
     let t =
       M.create_with
         (M.Config.make ~variant ~perm ~stack_policy ~annotate:(not no_annot) ())
@@ -360,9 +511,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ file_pos_arg $ expr_arg $ input_arg $ variant_arg $ perm_arg
-      $ stack_policy_arg $ no_annot_arg $ fuel_arg $ timeout_arg
-      $ space_budget_arg $ output_cap_arg $ linked_arg $ trace_arg
-      $ profile_arg $ json_arg $ ring_arg)
+      $ stack_policy_arg $ no_annot_arg $ engine_arg $ vm_fast_arg $ fuel_arg
+      $ timeout_arg $ space_budget_arg $ output_cap_arg $ linked_arg
+      $ trace_arg $ profile_arg $ json_arg $ ring_arg)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -457,6 +608,86 @@ let profile_cmd =
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
 
+(* [bench --compare OLD NEW] gates on regressions between two baseline
+   files written by [--baseline-out]. Wall-clock gets a noise band
+   (machines differ, CI is noisy); space columns are deterministic word
+   counts, so their default band is zero — any growth is a regression,
+   as is a point whose status degrades from [done] or disappears. *)
+let compare_baselines ~wall_band ~space_band old_path new_path =
+  let load path =
+    match Json.of_string (read_file path) with
+    | Ok j -> j
+    | Error m ->
+        Format.eprintf "schemesim: %s: %s@." path m;
+        exit 2
+    | exception Sys_error m ->
+        Format.eprintf "schemesim: %s@." m;
+        exit 2
+  in
+  let old_j = load old_path and new_j = load new_path in
+  let num name j =
+    match Json.member name j with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let int_of name j =
+    match Json.member name j with Some (Json.Int i) -> Some i | _ -> None
+  in
+  let str_of name j =
+    match Json.member name j with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let points j =
+    match Json.member "points" j with Some (Json.List l) -> l | _ -> []
+  in
+  let regressions = ref [] in
+  let reg fmt =
+    Printf.ksprintf (fun s -> regressions := s :: !regressions) fmt
+  in
+  (match (num "wall_s" old_j, num "wall_s" new_j) with
+  | Some ow, Some nw ->
+      if nw > ow *. (1. +. wall_band) then
+        reg "wall-clock regression: %.3fs -> %.3fs (+%.0f%% > %.0f%% band)" ow
+          nw
+          ((nw /. ow -. 1.) *. 100.)
+          (wall_band *. 100.)
+  | _ -> ());
+  List.iter
+    (fun op ->
+      match int_of "n" op with
+      | None -> ()
+      | Some n -> (
+          match
+            List.find_opt (fun np -> int_of "n" np = Some n) (points new_j)
+          with
+          | None -> reg "point n=%d missing from %s" n new_path
+          | Some np ->
+              (match (str_of "status" op, str_of "status" np) with
+              | Some "done", Some s when s <> "done" ->
+                  reg "point n=%d status degraded: done -> %s" n s
+              | _ -> ());
+              List.iter
+                (fun field ->
+                  match (int_of field op, int_of field np) with
+                  | Some o, Some nn
+                    when float_of_int nn
+                         > float_of_int o *. (1. +. space_band) ->
+                      reg "point n=%d %s regression: %d -> %d (band %.0f%%)" n
+                        field o nn (space_band *. 100.)
+                  | _ -> ())
+                [ "peak_space"; "space" ]))
+    (points old_j);
+  match List.rev !regressions with
+  | [] ->
+      Format.printf "bench compare: %s vs %s: no regressions@." old_path
+        new_path;
+      exit 0
+  | rs ->
+      Format.printf "bench compare: %s vs %s: %d regression(s)@." old_path
+        new_path (List.length rs);
+      List.iter (fun r -> Format.printf "  REGRESSION %s@." r) rs;
+      exit 1
+
 let bench_cmd =
   let ns_arg =
     let doc = "Comma-separated input sizes to sweep." in
@@ -508,9 +739,20 @@ let bench_cmd =
           match Tel.summary_to_json s with Json.Obj fs -> fs | _ -> [])
       | None -> [])
   in
-  let bench file expr name_opt ns variant perm stack_policy no_annot fuel
-      timeout space_budget output_cap linked json keep_going jobs cache_dir
-      baseline_out =
+  let bench file expr name_opt ns variant perm stack_policy no_annot engine
+      vm_fast fuel timeout space_budget output_cap linked json keep_going jobs
+      cache_dir baseline_out compare new_pos wall_band space_band =
+    if compare then begin
+      match (file, new_pos) with
+      | Some old_path, Some new_path ->
+          compare_baselines ~wall_band ~space_band old_path new_path
+      | _ ->
+          Format.eprintf
+            "schemesim: bench --compare expects two baseline files: bench \
+             --compare OLD NEW@.";
+          exit 2
+    end;
+    let engine = resolve_engine ~engine ~vm_fast ~variant ~perm ~linked in
     (* [cache_source] is the program's identity in the cache key: the
        corpus tag, or the source text itself for files and inline
        expressions — editing the program invalidates its entries. *)
@@ -545,7 +787,8 @@ let bench_cmd =
     let cache_source = Option.map (fun _ -> cache_source) cache in
     let started = Res.Clock.now () in
     let config =
-      M.Config.make ~variant ~perm ~stack_policy ~annotate:(not no_annot) ()
+      M.Config.make ~engine ~variant ~perm ~stack_policy
+        ~annotate:(not no_annot) ()
     in
     let outcome =
       Pool.with_pool ?jobs (fun pool ->
@@ -695,17 +938,227 @@ let bench_cmd =
     let doc = "Sweep a shipped corpus entry instead of a file." in
     Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"NAME" ~doc)
   in
+  let compare_arg =
+    let doc =
+      "Compare two baseline files written by --baseline-out instead of \
+       sweeping: bench --compare OLD NEW. Exits 1 on a wall-clock regression \
+       beyond --wall-band, any peak-space/space growth beyond --space-band, \
+       a degraded point status, or a missing point."
+    in
+    Arg.(value & flag & info [ "compare" ] ~doc)
+  in
+  let new_pos_arg =
+    let doc = "The NEW baseline file (with --compare)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"NEW" ~doc)
+  in
+  let wall_band_arg =
+    let doc =
+      "Allowed fractional wall-clock growth before --compare reports a \
+       regression (0.5 = new may be up to 50% slower; wall time is noisy)."
+    in
+    Arg.(value & opt float 0.5 & info [ "wall-band" ] ~docv:"FRAC" ~doc)
+  in
+  let space_band_arg =
+    let doc =
+      "Allowed fractional space growth before --compare reports a regression \
+       (default 0: space is a deterministic word count, any growth fails)."
+    in
+    Arg.(value & opt float 0.0 & info [ "space-band" ] ~docv:"FRAC" ~doc)
+  in
   let doc =
     "Sweep a program over several inputs, reporting space consumption, GC \
-     activity, and telemetry per input."
+     activity, and telemetry per input; or compare two baselines \
+     (--compare)."
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const bench $ file_pos_arg $ expr_arg $ corpus_name_arg $ ns_arg
-      $ variant_arg $ perm_arg $ stack_policy_arg $ no_annot_arg $ fuel_arg
-      $ timeout_arg $ space_budget_arg $ output_cap_arg $ linked_arg
-      $ json_arg $ keep_going_arg $ jobs_arg $ cache_dir_arg
-      $ baseline_out_arg)
+      $ variant_arg $ perm_arg $ stack_policy_arg $ no_annot_arg $ engine_arg
+      $ vm_fast_arg $ fuel_arg $ timeout_arg $ space_budget_arg
+      $ output_cap_arg $ linked_arg $ json_arg $ keep_going_arg $ jobs_arg
+      $ cache_dir_arg $ baseline_out_arg $ compare_arg $ new_pos_arg
+      $ wall_band_arg $ space_band_arg)
+
+(* ------------------------------------------------------------------ *)
+(* vmbench                                                             *)
+
+(* Wall-clock comparison of the execution tiers on loop/arith-heavy
+   corpus families, emitting the committed BENCH_vm.json format and
+   optionally gating on the fast tier's speedup over the stepper. Each
+   timing is the best of [reps] runs of the full engine path (for the
+   VM tiers that includes compilation — the honest end-to-end cost). *)
+let vmbench_cmd =
+  let default_families =
+    [
+      ("countdown", 100_000);
+      ("even-odd", 50_000);
+      ("fib-naive", 21);
+      ("nqueens", 6);
+      ("find-leftmost", 64);
+      ("ack", 7);
+    ]
+  in
+  let out_arg =
+    let doc = "Write the per-family results as JSON to $(docv)." in
+    Arg.(value & opt string "BENCH_vm.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let reps_arg =
+    let doc = "Timing repetitions per (family, engine); best-of wins." in
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"K" ~doc)
+  in
+  let check_speedup_arg =
+    let doc =
+      "Fail (exit 1) unless at least --min-families families reach this \
+       fast-tier speedup over the stepper."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "check-speedup" ] ~docv:"FACTOR" ~doc)
+  in
+  let min_families_arg =
+    let doc = "How many families must reach --check-speedup." in
+    Arg.(value & opt int 2 & info [ "min-families" ] ~docv:"K" ~doc)
+  in
+  let families_arg =
+    let doc =
+      "Families to measure, as NAME=N corpus entries (default: the shipped \
+       loop/arith-heavy set)."
+    in
+    let cv =
+      let parse s =
+        match String.index_opt s '=' with
+        | Some i -> (
+            let name = String.sub s 0 i in
+            match
+              int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+            with
+            | Some n -> Ok (name, n)
+            | None -> Error (`Msg "expected NAME=N"))
+        | None -> Error (`Msg "expected NAME=N")
+      in
+      Arg.conv
+        (parse, fun ppf (name, n) -> Format.fprintf ppf "%s=%d" name n)
+    in
+    Arg.(
+      value & opt_all cv default_families & info [ "family" ] ~docv:"NAME=N" ~doc)
+  in
+  let vmbench out reps check_speedup min_families families fuel =
+    let time_best f =
+      let rec go best k =
+        if k = 0 then best
+        else begin
+          let t0 = Res.Clock.now () in
+          let r = f () in
+          let dt = Res.Clock.now () -. t0 in
+          go (match best with Some (bt, _) when bt <= dt -> best | _ -> Some (dt, r)) (k - 1)
+        end
+      in
+      match go None (max 1 reps) with
+      | Some (dt, r) -> (dt, r)
+      | None -> assert false
+    in
+    let opts = M.Run_opts.make ~fuel () in
+    let rows =
+      List.map
+        (fun (name, n) ->
+          match Corpus.find name with
+          | None ->
+              Format.eprintf "schemesim: unknown corpus entry %S@." name;
+              exit 2
+          | Some e ->
+              let program = Corpus.program e in
+              let point engine =
+                time_best (fun () ->
+                    R.run_once ~opts
+                      ~config:(M.Config.make ~engine ())
+                      ~program ~n ())
+              in
+              let stepper_s, sm = point M.Stepper in
+              let vm_s, im = point M.Vm in
+              let fast_s, fm = point M.Vm_fast in
+              let status (m : R.measurement) =
+                match m.R.status with
+                | R.Answer a -> "answer:" ^ a
+                | R.Stuck s -> "stuck:" ^ s
+                | R.Aborted r -> "aborted:" ^ Res.abort_reason_name r
+              in
+              let answers_agree =
+                String.equal (status sm) (status im)
+                && String.equal (status sm) (status fm)
+              in
+              let speedup = stepper_s /. Float.max fast_s 1e-9 in
+              (name, n, stepper_s, vm_s, fast_s, speedup, sm, im, answers_agree))
+        families
+    in
+    let json =
+      Json.Obj
+        [
+          ("tool", Json.Str "schemesim vmbench");
+          ("reps", Json.Int reps);
+          ( "families",
+            Json.List
+              (List.map
+                 (fun (name, n, ss, vs, fs, sp, sm, im, agree) ->
+                   Json.Obj
+                     [
+                       ("name", Json.Str name);
+                       ("n", Json.Int n);
+                       ("stepper_s", Json.Float ss);
+                       ("vm_s", Json.Float vs);
+                       ("vm_fast_s", Json.Float fs);
+                       ("speedup_fast", Json.Float sp);
+                       ("steps", Json.Int sm.R.steps);
+                       ("peak_space", Json.Int sm.R.peak_space);
+                       ("vm_steps", Json.Int im.R.steps);
+                       ("vm_peak_space", Json.Int im.R.peak_space);
+                       ("answers_agree", Json.Bool agree);
+                     ])
+                 rows) );
+        ]
+    in
+    write_file out (Json.to_string json);
+    Format.printf "%-15s %8s %12s %12s %12s %9s %s@." "family" "n" "stepper"
+      "vm" "vm-fast" "speedup" "agree";
+    List.iter
+      (fun (name, n, ss, vs, fs, sp, _, _, agree) ->
+        Format.printf "%-15s %8d %10.3f s %10.3f s %10.4f s %8.1fx %s@." name n
+          ss vs fs sp
+          (if agree then "yes" else "NO"))
+      rows;
+    Format.printf "; results -> %s@." out;
+    let disagreements =
+      List.filter (fun (_, _, _, _, _, _, _, _, agree) -> not agree) rows
+    in
+    if disagreements <> [] then begin
+      Format.printf "vmbench: FAILED (engine answers disagree)@.";
+      exit 1
+    end;
+    match check_speedup with
+    | None -> ()
+    | Some target ->
+        let at =
+          List.length
+            (List.filter (fun (_, _, _, _, _, sp, _, _, _) -> sp >= target) rows)
+        in
+        if at >= min_families then
+          Format.printf "vmbench: OK (%d/%d families at >=%.0fx)@." at
+            (List.length rows) target
+        else begin
+          Format.printf "vmbench: FAILED (only %d families at >=%.0fx, need %d)@."
+            at target min_families;
+          exit 1
+        end
+  in
+  let doc =
+    "Time the execution tiers (stepper, instrumented VM, fast VM) on \
+     loop/arith-heavy corpus families, write BENCH_vm.json, and optionally \
+     gate on the fast tier's speedup."
+  in
+  Cmd.v (Cmd.info "vmbench" ~doc)
+    Term.(
+      const vmbench $ out_arg $ reps_arg $ check_speedup_arg $ min_families_arg
+      $ families_arg $ fuel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -946,6 +1399,7 @@ let () =
             run_cmd;
             profile_cmd;
             bench_cmd;
+            vmbench_cmd;
             analyze_cmd;
             corpus_cmd;
             report_cmd;

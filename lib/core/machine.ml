@@ -30,6 +30,20 @@ let variant_of_name = function
 type perm_policy = Left_to_right | Right_to_left | Seeded of int
 type stack_policy = Algol | Safe_deletion
 type return_env = Closure_env | Register_env
+type engine = Stepper | Vm | Vm_fast
+
+let all_engines = [ Stepper; Vm; Vm_fast ]
+
+let engine_name = function
+  | Stepper -> "stepper"
+  | Vm -> "vm"
+  | Vm_fast -> "vm-fast"
+
+let engine_of_name = function
+  | "stepper" -> Some Stepper
+  | "vm" -> Some Vm
+  | "vm-fast" -> Some Vm_fast
+  | _ -> None
 
 module Config = struct
   module Json = Telemetry.Json
@@ -42,6 +56,7 @@ module Config = struct
     evlis_drop_at_creation : bool;
     seed : int;
     annotate : bool;
+    engine : engine;
   }
 
   let default =
@@ -53,14 +68,16 @@ module Config = struct
       evlis_drop_at_creation = true;
       seed = 24054;
       annotate = true;
+      engine = Stepper;
     }
 
   let make ?(variant = default.variant) ?(perm = default.perm)
       ?(stack_policy = default.stack_policy) ?(return_env = default.return_env)
       ?(evlis_drop_at_creation = default.evlis_drop_at_creation)
-      ?(seed = default.seed) ?(annotate = default.annotate) () =
+      ?(seed = default.seed) ?(annotate = default.annotate)
+      ?(engine = default.engine) () =
     { variant; perm; stack_policy; return_env; evlis_drop_at_creation; seed;
-      annotate }
+      annotate; engine }
 
   let perm_name = function
     | Left_to_right -> "ltr"
@@ -110,6 +127,7 @@ module Config = struct
         ("evlis_drop_at_creation", Json.Bool t.evlis_drop_at_creation);
         ("seed", Json.Int t.seed);
         ("annotate", Json.Bool t.annotate);
+        ("engine", Json.Str (engine_name t.engine));
       ]
 
   let of_json json =
@@ -132,9 +150,20 @@ module Config = struct
     let* evlis_drop_at_creation = field "evlis_drop_at_creation" bool in
     let* seed = field "seed" int in
     let* annotate = field "annotate" bool in
+    (* [engine] arrived after the first serialized configs; a missing
+       field means the classic stepper. *)
+    let* engine =
+      match Json.member "engine" json with
+      | None -> Ok Stepper
+      | Some (Json.Str s) -> (
+          match engine_of_name s with
+          | Some e -> Ok e
+          | None -> Error "config: bad field \"engine\"")
+      | Some _ -> Error "config: bad field \"engine\""
+    in
     Ok
       { variant; perm; stack_policy; return_env; evlis_drop_at_creation; seed;
-        annotate }
+        annotate; engine }
 end
 
 type t = {
@@ -144,6 +173,7 @@ type t = {
   return_env : return_env;
   evlis_drop_at_creation : bool;
   seed : int;
+  engine : engine;
   annot : Annot.t option;
   ctx : Prim.ctx;
   mutable genv : Env.t;
@@ -162,6 +192,7 @@ let config t : Config.t =
     evlis_drop_at_creation = t.evlis_drop_at_creation;
     seed = t.seed;
     annotate = Option.is_some t.annot;
+    engine = t.engine;
   }
 
 let annotations t = t.annot
@@ -699,6 +730,7 @@ let create_with (cfg : Config.t) =
       return_env = cfg.return_env;
       evlis_drop_at_creation = cfg.evlis_drop_at_creation;
       seed = cfg.seed;
+      engine = cfg.engine;
       annot = (if cfg.annotate then Some (Annot.create ()) else None);
       ctx = Prim.make_ctx ~seed:cfg.seed ();
       genv = Env.empty;

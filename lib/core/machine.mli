@@ -43,6 +43,21 @@ type stack_policy = Algol | Safe_deletion
     See DESIGN.md, "Faithfulness notes". *)
 type return_env = Closure_env | Register_env
 
+(** Which execution tier runs the program. [Stepper] is the small-step
+    reference interpreter (this module's [run]); [Vm] is the bytecode
+    VM's instrumented mode (Tail variant only — bit-compatible peaks and
+    step counts); [Vm_fast] is the bytecode VM with accounting compiled
+    out (answers only). The tiers live in [Tailspace_vm.Vm]; the config
+    field just names the choice so the harness can key caches on it. *)
+type engine = Stepper | Vm | Vm_fast
+
+val all_engines : engine list
+
+val engine_name : engine -> string
+(** ["stepper"], ["vm"], ["vm-fast"]. *)
+
+val engine_of_name : string -> engine option
+
 (** The full identity of a machine: every knob {!create_with} consumes,
     as one first-class, serializable record. Two machines built from
     equal configs behave identically, and [to_json] is a complete,
@@ -65,11 +80,15 @@ module Config : sig
             serve the [I_free]/[I_sfs] free-variable sets from it;
             observables are identical either way (the differential
             oracle checks this), only per-step cost changes *)
+    engine : engine;
+        (** which execution tier the harness should run this config on;
+            [create_with] itself always builds the stepper state (the VM
+            reuses it for its globals and annotations) *)
   }
 
   val default : t
   (** [Tail], [Left_to_right], [Safe_deletion], [Closure_env], [true],
-      seed 24054, annotations on. *)
+      seed 24054, annotations on, [Stepper] engine. *)
 
   val make :
     ?variant:variant ->
@@ -79,6 +98,7 @@ module Config : sig
     ?evlis_drop_at_creation:bool ->
     ?seed:int ->
     ?annotate:bool ->
+    ?engine:engine ->
     unit ->
     t
   (** {!default} with the given fields replaced. *)
@@ -130,6 +150,12 @@ val annotations : t -> Tailspace_analysis.Annot.t option
 val initial : t -> Types.Env.t * Store.t
 (** The machine's [rho_0] and [sigma_0] (primitives + prelude), e.g. for
     alternative evaluators over the same value domain. *)
+
+val prelude_source : string
+(** The Scheme source of the prelude evaluated into [rho_0]/[sigma_0] —
+    alternative engines with their own value domain (the fast VM tier)
+    compile the same definitions so the observable library is
+    identical. *)
 
 type outcome =
   | Done of { value : Types.value; store : Store.t; answer : string }

@@ -33,6 +33,8 @@ type report = {
   algol_stuck_on_demand : bool;
   annot_invariant : bool;
   annot_failures : string list;
+  vm_invariant : bool;
+  vm_failures : string list;
   ok : bool;
 }
 
@@ -166,6 +168,63 @@ let annot_agreement ~fuel programs =
         Machine.all_variants)
     programs
 
+(* The bytecode VM is the seventh engine: on every corpus entry (at its
+   first checked input) both tiers must produce the stepper's answer,
+   and the instrumented tier must be bit-compatible with the Tail
+   stepper — identical step counts, peaks, and GC runs, not merely the
+   same answer. Entries not marked [slow] are additionally compared
+   against all six variants (whose answers Corollary 20 makes
+   interchangeable). *)
+let vm_agreement ~fuel () =
+  List.concat_map
+    (fun (e : Corpus.entry) ->
+      match e.Corpus.checks with
+      | [] -> []
+      | (n, _) :: _ ->
+          let program = Corpus.program e in
+          let opts = Machine.Run_opts.make ~fuel () in
+          let point engine variant =
+            Runner.run_once ~opts
+              ~config:(Machine.Config.make ~engine ~variant ())
+              ~program ~n ()
+          in
+          let tail = point Machine.Stepper Machine.Tail in
+          let inst = point Machine.Vm Machine.Tail in
+          let fast = point Machine.Vm_fast Machine.Tail in
+          let fails = ref [] in
+          let add fmt =
+            Printf.ksprintf
+              (fun s -> fails := Printf.sprintf "%s n=%d: %s" e.Corpus.name n s :: !fails)
+              fmt
+          in
+          if not (String.equal (status_text inst) (status_text tail)) then
+            add "instrumented VM %s vs stepper %s" (status_text inst)
+              (status_text tail);
+          if inst.Runner.steps <> tail.Runner.steps then
+            add "instrumented VM steps %d vs stepper %d" inst.Runner.steps
+              tail.Runner.steps;
+          if inst.Runner.peak_space <> tail.Runner.peak_space then
+            add "instrumented VM peak %d vs stepper %d" inst.Runner.peak_space
+              tail.Runner.peak_space;
+          if inst.Runner.gc_runs <> tail.Runner.gc_runs then
+            add "instrumented VM gc_runs %d vs stepper %d" inst.Runner.gc_runs
+              tail.Runner.gc_runs;
+          if not (String.equal (status_text fast) (status_text tail)) then
+            add "fast VM %s vs stepper %s" (status_text fast)
+              (status_text tail);
+          if not e.Corpus.slow then
+            List.iter
+              (fun variant ->
+                if variant <> Machine.Tail then begin
+                  let m = point Machine.Stepper variant in
+                  if not (String.equal (status_text m) (status_text fast)) then
+                    add "fast VM %s vs %s stepper %s" (status_text fast)
+                      (Machine.variant_name variant) (status_text m)
+                end)
+              Machine.all_variants;
+          List.rev !fails)
+    Corpus.all
+
 let run ?(fuel = 2_000_000) ?programs () =
   let programs =
     match programs with Some ps -> ps | None -> default_programs ()
@@ -182,8 +241,11 @@ let run ?(fuel = 2_000_000) ?programs () =
   let algol_stuck_on_demand = algol_dangling () in
   let annot_failures = annot_agreement ~fuel programs in
   let annot_invariant = annot_failures = [] in
+  let vm_failures = vm_agreement ~fuel () in
+  let vm_invariant = vm_failures = [] in
   let ok =
     cross_variant_agree && algol_stuck_on_demand && annot_invariant
+    && vm_invariant
     && List.for_all (fun c -> c.answer_agrees && c.peak_stable) checks
   in
   {
@@ -192,6 +254,8 @@ let run ?(fuel = 2_000_000) ?programs () =
     algol_stuck_on_demand;
     annot_invariant;
     annot_failures;
+    vm_invariant;
+    vm_failures;
     ok;
   }
 
@@ -203,14 +267,19 @@ let render r =
   Buffer.add_string buf
     (Printf.sprintf
        "differential oracle: %d checks, cross-variant agreement %s, algol \
-        dangling-pointer stuck state %s, annotation invariance %s\n"
+        dangling-pointer stuck state %s, annotation invariance %s, bytecode \
+        VM agreement %s\n"
        (List.length r.checks)
        (if r.cross_variant_agree then "ok" else "FAILED")
        (if r.algol_stuck_on_demand then "reachable" else "NOT REACHABLE")
-       (if r.annot_invariant then "ok" else "FAILED"));
+       (if r.annot_invariant then "ok" else "FAILED")
+       (if r.vm_invariant then "ok" else "FAILED"));
   List.iter
     (fun f -> Buffer.add_string buf (Printf.sprintf "ANNOT MISMATCH %s\n" f))
     r.annot_failures;
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "VM MISMATCH %s\n" f))
+    r.vm_failures;
   (match failures r with
   | [] -> Buffer.add_string buf "all adversarial schedules agree with baseline\n"
   | fs ->
@@ -250,6 +319,8 @@ let to_json r =
       ("annot_invariant", Json.Bool r.annot_invariant);
       ( "annot_failures",
         Json.List (List.map (fun s -> Json.Str s) r.annot_failures) );
+      ("vm_invariant", Json.Bool r.vm_invariant);
+      ("vm_failures", Json.List (List.map (fun s -> Json.Str s) r.vm_failures));
       ("checks", Json.Int (List.length r.checks));
       ("failures", Json.List (List.map check_to_json (failures r)));
     ]

@@ -43,6 +43,15 @@ type report = {
           count, and peak space for every (program, variant) *)
   annot_failures : string list;
       (** human-readable description of each annotation disagreement *)
+  vm_invariant : bool;
+      (** the bytecode VM agrees as a seventh engine on the full
+          corpus: both tiers produce the stepper's answers everywhere
+          (fast-tier answers are also checked against all six variants
+          on non-slow entries), and the instrumented tier's step
+          counts, peaks, and GC runs are identical to the Tail
+          stepper's *)
+  vm_failures : string list;
+      (** human-readable description of each VM disagreement *)
   ok : bool;
 }
 
@@ -67,4 +76,5 @@ val render : report -> string
 
 val to_json : report -> Json.t
 (** [{"ok", "cross_variant_agree", "algol_stuck_on_demand",
-    "annot_invariant", "annot_failures", "checks", "failures"}]. *)
+    "annot_invariant", "annot_failures", "vm_invariant", "vm_failures",
+    "checks", "failures"}]. *)

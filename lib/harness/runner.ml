@@ -5,6 +5,7 @@ module Telemetry = Tailspace_telemetry.Telemetry
 module Resilience = Tailspace_resilience.Resilience
 module Pool = Tailspace_parallel.Pool
 module Cache = Tailspace_parallel.Cache
+module Vm = Tailspace_vm.Vm
 module Json = Telemetry.Json
 
 type status =
@@ -56,10 +57,45 @@ let measure_with machine ?(opts = Machine.Run_opts.default)
        else None);
   }
 
+(* The VM tiers report the same measurement shape as the stepper; in
+   fast mode the space columns are 0/absent by construction (the tier
+   compiles the accounting out), which downstream selectors like
+   [spaces] happily carry. *)
+let measure_vm config ?(opts = Machine.Run_opts.default)
+    ?(collect_telemetry = false) ~program ~n () =
+  let telemetry =
+    if collect_telemetry then Some (Telemetry.create ())
+    else opts.Machine.Run_opts.telemetry
+  in
+  let opts = { opts with Machine.Run_opts.telemetry } in
+  let r = Vm.exec_program ~opts config ~program ~input:(input_expr n) in
+  let status =
+    match r.Vm.outcome with
+    | Vm.Done answer -> Answer answer
+    | Vm.Stuck m -> Stuck m
+    | Vm.Aborted reason -> Aborted reason
+  in
+  {
+    n;
+    space = r.Vm.program_size + r.Vm.peak_space;
+    linked = Option.map (fun l -> l + r.Vm.program_size) r.Vm.peak_linked;
+    steps = r.Vm.steps;
+    status;
+    gc_runs = r.Vm.gc_runs;
+    peak_space = r.Vm.peak_space;
+    summary =
+      (if collect_telemetry then Option.map Telemetry.summary telemetry
+       else None);
+  }
+
 let run_once ?opts ?collect_telemetry ?(config = Machine.Config.default)
     ~program ~n () =
-  let machine = Machine.create_with config in
-  measure_with machine ?opts ?collect_telemetry ~program ~n ()
+  match config.Machine.Config.engine with
+  | Machine.Stepper ->
+      let machine = Machine.create_with config in
+      measure_with machine ?opts ?collect_telemetry ~program ~n ()
+  | Machine.Vm | Machine.Vm_fast ->
+      measure_vm config ?opts ?collect_telemetry ~program ~n ()
 
 (* {2 Measurement codecs}
 
@@ -156,7 +192,9 @@ let point_key ~source ?(opts = Machine.Run_opts.default)
   let opt f = function Some v -> f v | None -> "default" in
   Cache.key
     ([
-       "tailspace-measurement-v2";
+       (* v3: the key gained the [engine] field inside the serialized
+          config; old v2 entries (which never carried it) are dead. *)
+       "tailspace-measurement-v3";
        source;
        (* The machine part of the key is the canonical serialized
           config, so anything that can change a machine's behavior —
