@@ -9,6 +9,8 @@
      corpus      list the shipped corpus, or run one entry
      report      print the paper-reproduction experiment tables
      faults      fault-injection matrix + differential oracle (JSON)
+     spaceprof   space-provenance profiler: per-site heap census at the
+                 peak, flamegraph export, and per-variant census diffs
 
    exit codes (uniform across subcommands, documented in README):
      0  the program ran to completion (Done)
@@ -35,6 +37,8 @@ module Pool = Tailspace_parallel.Pool
 module Mcache = Tailspace_parallel.Cache
 module Vm = Tailspace_vm.Vm
 module Ast = Tailspace_ast.Ast
+module Census = Tailspace_core.Census
+module Prov = Tailspace_provenance.Provenance
 
 let read_file path =
   let ic = open_in_bin path in
@@ -672,8 +676,11 @@ let compare_baselines ~wall_band ~space_band old_path new_path =
                   | Some o, Some nn
                     when float_of_int nn
                          > float_of_int o *. (1. +. space_band) ->
-                      reg "point n=%d %s regression: %d -> %d (band %.0f%%)" n
-                        field o nn (space_band *. 100.)
+                      reg "point n=%d %s regression: %s -> %s (%+.1f%% > %.0f%% band)"
+                        n field (Prov.humanize_words o)
+                        (Prov.humanize_words nn)
+                        (Prov.percent_delta ~from:o ~to_:nn)
+                        (space_band *. 100.)
                   | _ -> ())
                 [ "peak_space"; "space" ]))
     (points old_j);
@@ -1247,20 +1254,31 @@ let report_cmd =
     in
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let report which jobs =
+  let report which jobs engine =
+    (* The instrumented VM's sweeps are bit-compatible with the
+       stepper's (oracle-checked), so [--engine vm] changes only the
+       wall-clock; the fast tier compiles the space columns out and is
+       refused. *)
+    (match engine with
+    | M.Stepper | M.Vm -> ()
+    | M.Vm_fast ->
+        Format.eprintf
+          "schemesim: report --engine vm-fast has no space columns (the fast \
+           tier compiles accounting out); use stepper or vm@.";
+        exit 2);
     let table =
       Pool.with_pool ?jobs (fun pool ->
           match which with
           | "fig2" -> Ok (X.Fig2.render (X.Fig2.run ()))
-          | "thm25" -> Ok (X.Thm25.render (X.Thm25.run ?pool ()))
-          | "thm24" -> Ok (X.Thm24.render (X.Thm24.run ?pool ()))
-          | "thm26" -> Ok (X.Thm26.render (X.Thm26.run ?pool ()))
-          | "sec4" -> Ok (X.Sec4.render (X.Sec4.run ?pool ()))
-          | "cor20" -> Ok (X.Cor20.render (X.Cor20.run ?pool ()))
-          | "cps" -> Ok (X.Cps.render (X.Cps.run ?pool ()))
-          | "ablation" -> Ok (X.Ablation.render (X.Ablation.run ?pool ()))
+          | "thm25" -> Ok (X.Thm25.render (X.Thm25.run ?pool ~engine ()))
+          | "thm24" -> Ok (X.Thm24.render (X.Thm24.run ?pool ~engine ()))
+          | "thm26" -> Ok (X.Thm26.render (X.Thm26.run ?pool ~engine ()))
+          | "sec4" -> Ok (X.Sec4.render (X.Sec4.run ?pool ~engine ()))
+          | "cor20" -> Ok (X.Cor20.render (X.Cor20.run ?pool ~engine ()))
+          | "cps" -> Ok (X.Cps.render (X.Cps.run ?pool ~engine ()))
+          | "ablation" -> Ok (X.Ablation.render (X.Ablation.run ?pool ~engine ()))
           | "sanity" -> Ok (X.Sanity.render (X.Sanity.run ?pool ()))
-          | "all" -> Ok (X.render_all ?pool ())
+          | "all" -> Ok (X.render_all ?pool ~engine ())
           | other -> Error other)
     in
     match table with
@@ -1270,7 +1288,8 @@ let report_cmd =
         exit 2
   in
   let doc = "Print the paper-reproduction tables (see DESIGN.md)." in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const report $ which_arg $ jobs_arg)
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const report $ which_arg $ jobs_arg $ engine_arg)
 
 (* ------------------------------------------------------------------ *)
 (* faults                                                              *)
@@ -1386,6 +1405,300 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ json_arg $ n_arg $ fuel_arg)
 
+(* ------------------------------------------------------------------ *)
+(* spaceprof                                                           *)
+
+(* The space-provenance profiler: run once with a census attached, then
+   decompose the measured peak into per-allocation-site live words. The
+   census is rebuilt from the exact peak configuration, so its rows sum
+   to the telemetry peak by construction — the sum is still re-checked
+   here and a mismatch is a reportable bug (exit 1), never silently
+   truncated output. *)
+let spaceprof_cmd =
+  let corpus_name_arg =
+    let doc = "Profile a shipped corpus entry instead of a file." in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"NAME" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Print the census as one JSON object (rows, flamegraph stacks, and \
+       labels; the linked census too with --linked) instead of tables."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let flamegraph_arg =
+    let doc =
+      "Write collapsed-stack lines (site;site;... words) to $(docv) — the \
+       input format of flamegraph.pl and speedscope. Lines sum exactly to \
+       the flat peak."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "flamegraph" ] ~docv:"FILE" ~doc)
+  in
+  let diff_arg =
+    let doc =
+      "Profile the program under two variants and print the per-site word \
+       delta table (largest absolute delta first) instead of a single \
+       census: --diff tail,stack surfaces where I_stack parks the words \
+       I_tail reclaims."
+    in
+    Arg.(
+      value
+      & opt (some (pair variant_conv variant_conv)) None
+      & info [ "diff" ] ~docv:"VARIANT_A,VARIANT_B" ~doc)
+  in
+  let top_arg =
+    let doc = "Show only the $(docv) largest rows per table (0 = all)." in
+    Arg.(value & opt int 0 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let spaceprof file expr corpus_name input variant engine vm_fast fuel linked
+      json flamegraph diff top =
+    let name, program =
+      match corpus_name with
+      | Some entry_name -> (
+          match Corpus.find entry_name with
+          | None ->
+              Format.eprintf "schemesim: unknown corpus entry %S@." entry_name;
+              exit 2
+          | Some e -> (entry_name, Corpus.program e))
+      | None ->
+          with_program file expr (fun name program -> (name, program))
+    in
+    let n =
+      match (input, corpus_name) with
+      | Some n, _ -> n
+      | None, Some entry_name -> (
+          match Corpus.find entry_name with
+          | Some { Corpus.checks = (n, _) :: _; _ } -> n
+          | _ ->
+              Format.eprintf
+                "schemesim: corpus entry %S has no default input; pass \
+                 --input N@."
+                entry_name;
+              exit 2)
+      | None, None ->
+          Format.eprintf
+            "schemesim: spaceprof needs --input N (the program runs under \
+             §12's procedure-of-one-argument convention)@.";
+          exit 2
+    in
+    let engine = resolve_engine ~engine ~vm_fast ~variant ~perm:M.Left_to_right ~linked in
+    if engine = M.Vm_fast then begin
+      Format.eprintf
+        "schemesim: the fast tier compiles accounting out and cannot carry a \
+         census; use --engine stepper or vm@.";
+      exit 2
+    end;
+    (* One profiled run: census attached through Run_opts, peaks
+       recovered from the measurement (peak_space is the raw flat peak;
+       the linked column folds |P| in and must shed it). *)
+    let census_run variant =
+      if engine = M.Vm && variant <> M.Tail then begin
+        Format.eprintf
+          "schemesim: --engine vm profiles only the tail variant; --diff \
+           with other variants needs the stepper@.";
+        exit 2
+      end;
+      let census = Census.create () in
+      let opts =
+        M.Run_opts.make ~fuel ~measure_linked:linked ~provenance:census ()
+      in
+      let m =
+        R.run_once ~opts ~config:(M.Config.make ~engine ~variant ()) ~program
+          ~n ()
+      in
+      let psize = m.R.space - m.R.peak_space in
+      let flat = Census.flat_census census ~peak:m.R.peak_space in
+      let linked_c =
+        match m.R.linked with
+        | Some l -> Census.linked_census census ~peak:(l - psize)
+        | None -> None
+      in
+      (m, flat, linked_c)
+    in
+    let check_sums what = function
+      | None -> ()
+      | Some (c : Prov.t) ->
+          let rows = Prov.total c in
+          if rows <> c.Prov.peak then begin
+            Format.eprintf
+              "schemesim: INTERNAL %s census rows sum to %d, peak is %d@."
+              what rows c.Prov.peak;
+            exit 1
+          end;
+          let stack_sum =
+            List.fold_left (fun a (s : Prov.stack) -> a + s.Prov.swords) 0
+              c.Prov.stacks
+          in
+          if c.Prov.stacks <> [] && stack_sum <> c.Prov.peak then begin
+            Format.eprintf
+              "schemesim: INTERNAL %s flamegraph stacks sum to %d, peak is \
+               %d@."
+              what stack_sum c.Prov.peak;
+            exit 1
+          end
+    in
+    let status_line variant (m : R.measurement) =
+      Format.printf "; %s(%d) under %s (%s): S=%d peak=%d steps=%d%s@." name n
+        (M.variant_name variant) (M.engine_name engine) m.R.space
+        m.R.peak_space m.R.steps
+        (match m.R.linked with
+        | Some u -> Printf.sprintf " U=%d" u
+        | None -> "")
+    in
+    let failed (m : R.measurement) =
+      match m.R.status with
+      | R.Answer _ -> false
+      | R.Stuck msg ->
+          Format.eprintf "schemesim: run got stuck: %s@." msg;
+          true
+      | R.Aborted r ->
+          Format.eprintf "schemesim: run aborted: %s@."
+            (Res.abort_reason_message r);
+          true
+    in
+    let truncate_rows (c : Prov.t) =
+      if top <= 0 then c
+      else
+        {
+          c with
+          Prov.rows =
+            List.filteri (fun i (_ : Prov.row) -> i < top) c.Prov.rows;
+        }
+    in
+    match diff with
+    | Some (va, vb) ->
+        let ma, fa, la = census_run va and mb, fb, lb = census_run vb in
+        check_sums (M.variant_name va) fa;
+        check_sums (M.variant_name vb) fb;
+        check_sums (M.variant_name va ^ " linked") la;
+        check_sums (M.variant_name vb ^ " linked") lb;
+        (match (fa, fb) with
+        | Some ca, Some cb ->
+            let deltas = Prov.diff ca cb in
+            let deltas =
+              if top <= 0 then deltas
+              else List.filteri (fun i (_ : Prov.delta) -> i < top) deltas
+            in
+            if json then
+              print_endline
+                (Json.to_string
+                   (Json.Obj
+                      [
+                        ("program", Json.Str name);
+                        ("n", Json.Int n);
+                        ("variant_a", Json.Str (M.variant_name va));
+                        ("variant_b", Json.Str (M.variant_name vb));
+                        ("census_a", Prov.to_json ca);
+                        ("census_b", Prov.to_json cb);
+                        ( "deltas",
+                          Json.List
+                            (List.map
+                               (fun (d : Prov.delta) ->
+                                 Json.Obj
+                                   [
+                                     ("site", Json.Int d.Prov.dsite);
+                                     ( "phase",
+                                       Json.Str (Prov.phase_name d.Prov.dphase)
+                                     );
+                                     ("words_a", Json.Int d.Prov.words_a);
+                                     ("words_b", Json.Int d.Prov.words_b);
+                                     ("label", Json.Str d.Prov.dlabel);
+                                   ])
+                               deltas) );
+                      ]))
+            else begin
+              status_line va ma;
+              status_line vb mb;
+              Format.printf "peak: %s under %s vs %s under %s (%+.1f%%)@."
+                (Prov.humanize_words ca.Prov.peak)
+                (M.variant_name va)
+                (Prov.humanize_words cb.Prov.peak)
+                (M.variant_name vb)
+                (Prov.percent_delta ~from:ca.Prov.peak ~to_:cb.Prov.peak);
+              print_string
+                (Table.census_diff ~label_a:(M.variant_name va)
+                   ~label_b:(M.variant_name vb) deltas)
+            end
+        | _ ->
+            Format.eprintf
+              "schemesim: no peak census (did both runs take a step?)@.";
+            exit 1);
+        if failed ma || failed mb then exit 1
+    | None ->
+        let m, flat, linked_c = census_run variant in
+        check_sums "flat" flat;
+        check_sums "linked" linked_c;
+        (match flamegraph with
+        | None -> ()
+        | Some path -> (
+            match flat with
+            | Some c ->
+                write_file path
+                  (String.concat "\n" (Prov.flamegraph_lines c) ^ "\n");
+                Format.eprintf "; flamegraph (%d stacks) -> %s@."
+                  (List.length c.Prov.stacks) path
+            | None ->
+                Format.eprintf
+                  "schemesim: no peak census to export (did the run take a \
+                   step?)@.";
+                exit 1));
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("program", Json.Str name);
+                    ("n", Json.Int n);
+                    ("variant", Json.Str (M.variant_name variant));
+                    ("engine", Json.Str (M.engine_name engine));
+                    ( "status",
+                      Json.Str
+                        (match m.R.status with
+                        | R.Answer a -> "answer:" ^ a
+                        | R.Stuck s -> "stuck:" ^ s
+                        | R.Aborted r -> "aborted:" ^ Res.abort_reason_name r)
+                    );
+                    ("space_consumption", Json.Int m.R.space);
+                    ("peak_space", Json.Int m.R.peak_space);
+                    ("steps", Json.Int m.R.steps);
+                    ( "flat",
+                      match flat with
+                      | Some c -> Prov.to_json c
+                      | None -> Json.Null );
+                    ( "linked",
+                      match linked_c with
+                      | Some c -> Prov.to_json c
+                      | None -> Json.Null );
+                  ]))
+        else begin
+          status_line variant m;
+          (match flat with
+          | Some c -> print_string (Table.census (truncate_rows c))
+          | None ->
+              Format.eprintf
+                "schemesim: no peak census (did the run take a step?)@.";
+              exit 1);
+          match linked_c with
+          | Some c ->
+              print_newline ();
+              print_string (Table.census (truncate_rows c))
+          | None -> ()
+        end;
+        if failed m then exit 1
+  in
+  let doc =
+    "Space-provenance profiler: attribute every live word at the measured \
+     peak to the allocation site that produced it (per-site heap census), \
+     export collapsed-stack flamegraphs, and diff censuses across machine \
+     variants."
+  in
+  Cmd.v (Cmd.info "spaceprof" ~doc)
+    Term.(
+      const spaceprof $ file_pos_arg $ expr_arg $ corpus_name_arg $ input_arg
+      $ variant_arg $ engine_arg $ vm_fast_arg $ fuel_arg $ linked_arg
+      $ json_arg $ flamegraph_arg $ diff_arg $ top_arg)
+
 let () =
   let doc =
     "reference implementations for 'Proper Tail Recursion and Space \
@@ -1404,4 +1717,5 @@ let () =
             corpus_cmd;
             report_cmd;
             faults_cmd;
+            spaceprof_cmd;
           ]))

@@ -22,6 +22,11 @@ type node = {
   mutable seen_nontail : bool;
   call : call_info option;
   branch : Iset.t option;
+  site : int;
+      (* stable node id, assigned in table-insertion (post-)order: two
+         machines that record the same programs in the same order agree
+         on every id even when gensym'd identifier names differ — the
+         provenance layer's cross-engine census key *)
 }
 
 type info = {
@@ -41,9 +46,20 @@ module Node_table = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
-type t = { table : node Node_table.t; interned : (string, Iset.t) Hashtbl.t }
+type t = {
+  table : node Node_table.t;
+  interned : (string, Iset.t) Hashtbl.t;
+  sites : (int, Ast.expr) Hashtbl.t;  (* site id -> the node it names *)
+  mutable next_site : int;
+}
 
-let create () = { table = Node_table.create 256; interned = Hashtbl.create 64 }
+let create () =
+  {
+    table = Node_table.create 256;
+    interned = Hashtbl.create 64;
+    sites = Hashtbl.create 256;
+    next_site = 0;
+  }
 
 let intern t s =
   let key = String.concat "\x00" (Iset.elements s) in
@@ -139,6 +155,9 @@ let rec walk t ~tail e =
             Some (make_call_info t elems)
         | _ -> None
       in
+      let site = t.next_site in
+      t.next_site <- site + 1;
+      Hashtbl.add t.sites site e;
       Node_table.add t.table e
         {
           fv;
@@ -147,6 +166,7 @@ let rec walk t ~tail e =
           seen_nontail = not tail;
           call;
           branch;
+          site;
         }
 
 and walk_children t ~tail e =
@@ -178,6 +198,13 @@ let tail_status t e =
   match Node_table.find_opt t.table e with
   | None -> None
   | Some n -> Some n.tail
+
+let site_id t e =
+  match Node_table.find_opt t.table e with
+  | None -> None
+  | Some n -> Some n.site
+
+let site_expr t site = Hashtbl.find_opt t.sites site
 
 let nodes t = Node_table.length t.table
 let distinct_sets t = Hashtbl.length t.interned

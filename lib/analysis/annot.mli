@@ -81,6 +81,17 @@ val find : t -> Ast.expr -> info option
 val free_vars : t -> Ast.expr -> Iset.t option
 val tail_status : t -> Ast.expr -> tail_status option
 
+val site_id : t -> Ast.expr -> int option
+(** The node's stable site id, assigned in table-insertion order
+    starting at 0. Two tables that {!record} the same programs in the
+    same order assign identical ids (independent of gensym'd names),
+    which is what lets the provenance layer compare per-site censuses
+    across execution engines. *)
+
+val site_expr : t -> int -> Ast.expr option
+(** Inverse of {!site_id}: the node a site id names (for labels and
+    stuck-trace spans). *)
+
 val seeded_sets : call_info -> int list -> Iset.t * Iset.t list
 (** [seeded_sets ci rest_indices]: the [I_sfs] restriction sets for a
     shuffled evaluation order whose not-yet-evaluated subexpression

@@ -4,6 +4,7 @@ module Reader = Tailspace_sexp.Reader
 module Telemetry = Tailspace_telemetry.Telemetry
 module Resilience = Tailspace_resilience.Resilience
 module Annot = Tailspace_analysis.Annot
+module Prov = Tailspace_provenance.Provenance
 open Types
 
 type variant = Tail | Gc | Stack | Evlis | Free | Sfs
@@ -175,6 +176,14 @@ type t = {
   seed : int;
   engine : engine;
   annot : Annot.t option;
+  mutable prov : Census.t option;
+      (* census of the run in progress; installed by [run] when the
+         caller asks for provenance, cleared otherwise *)
+  mutable track_sites : bool;
+      (* thread annotation site ids into continuation frames. On when
+         provenance is on, and also when telemetry records
+         configurations (so stuck traces can name the offending site)
+         — never affects sizes, steps, or peaks *)
   ctx : Prim.ctx;
   mutable genv : Env.t;
   mutable gstore : Store.t;
@@ -270,6 +279,22 @@ let fv_call t e rest_indices =
           | Seeded _ -> Some (Annot.seeded_sets ci rest_indices))
       | _ -> None)
 
+(* Provenance site of an expression: a table lookup when sites are being
+   tracked this run, [-1] (one branch) otherwise. *)
+let site_of t e =
+  if not t.track_sites then -1
+  else
+    match t.annot with
+    | None -> -1
+    | Some a -> ( match Annot.site_id a e with Some s -> s | None -> -1)
+
+(* Declare the provenance of the allocations the current rule is about
+   to perform. No-op (one branch) when provenance is off. *)
+let note_alloc_site t ~site ~phase =
+  match t.prov with
+  | None -> ()
+  | Some c -> Census.set_alloc_site c ~site ~phase
+
 (* ------------------------------------------------------------------ *)
 (* Reduction rules (configurations whose first component is an
    expression).                                                        *)
@@ -296,6 +321,7 @@ let step_expr t config e =
         | Free | Sfs -> Env.restrict env (fv_lambda t e lam)
         | Tail | Gc | Stack | Evlis -> env
       in
+      note_alloc_site t ~site:(site_of t e) ~phase:(Some Prov.P_closure);
       let store, tag = Store.alloc store Unspecified in
       Next { config with control = `Value (Closure (tag, lam, captured)); store }
   | Ast.If (e0, e1, e2) ->
@@ -308,7 +334,7 @@ let step_expr t config e =
         {
           config with
           control = `Expr e0;
-          cont = select ~e1 ~e2 ~env:saved ~next:cont;
+          cont = select ~site:(site_of t e) ~e1 ~e2 ~env:saved ~next:cont ();
         }
   | Ast.Set (i, e0) ->
       let saved =
@@ -320,7 +346,7 @@ let step_expr t config e =
         {
           config with
           control = `Expr e0;
-          cont = assign ~id:i ~env:saved ~next:cont;
+          cont = assign ~site:(site_of t e) ~id:i ~env:saved ~next:cont ();
         }
   | Ast.Call (f, args) -> (
       let exprs = Array.of_list (f :: args) in
@@ -354,14 +380,18 @@ let step_expr t config e =
               config with
               control = `Expr exprs.(i0);
               cont =
-                push ~fv_rest ~pending:i0 ~remaining ~evaluated:[]
-                  ~env:frame_env ~next:cont ();
+                push ~fv_rest ~site:(site_of t e) ~pending:i0 ~remaining
+                  ~evaluated:[] ~env:frame_env ~next:cont ();
             })
 
 (* ------------------------------------------------------------------ *)
 (* Procedure invocation (the call rules).                              *)
 
-let rec invoke t config v0 vals next =
+(* [site] is the provenance site of the call expression whose frame we
+   just popped: argument ribs, rest lists, escape tags, primitive
+   allocations, and any I_gc/I_stack return frame are all charged to the
+   call site. *)
+let rec invoke ?(site = -1) t config v0 vals next =
   let { store; _ } = config in
   match v0 with
   | Closure (_, lam, captured) -> (
@@ -386,12 +416,15 @@ let rec invoke t config v0 vals next =
             | [] -> assert false
         in
         let direct, extra = split np vals in
+        note_alloc_site t ~site ~phase:(Some Prov.P_rib);
         let store, plocs = Store.alloc_many store direct in
         let store, rest_binding =
           match lam.rest with
           | None -> (store, [])
           | Some r ->
+              note_alloc_site t ~site ~phase:None;
               let store, lst = Prim.values_to_list store extra in
+              note_alloc_site t ~site ~phase:(Some Prov.P_rib);
               let store, rl = Store.alloc store lst in
               (store, [ (r, rl) ])
         in
@@ -414,10 +447,10 @@ let rec invoke t config v0 vals next =
         let cont' =
           match t.variant with
           | Tail | Evlis | Free | Sfs -> next
-          | Gc -> return_gc ~env:frame_env ~next
+          | Gc -> return_gc ~site ~env:frame_env ~next ()
           | Stack ->
               let dels = plocs @ List.map snd rest_binding in
-              return_stack ~dels ~env:frame_env ~next
+              return_stack ~site ~dels ~env:frame_env ~next ()
         in
         match () with
         | () ->
@@ -438,20 +471,22 @@ let rec invoke t config v0 vals next =
             (List.rev (List.tl r), List.hd r)
           in
           match Prim.list_to_values store last with
-          | Some flattened -> invoke t config f (middle @ flattened) next
+          | Some flattened -> invoke ~site t config f (middle @ flattened) next
           | None -> Stuck_state "apply: last argument is not a proper list")
       | _ -> Stuck_state "apply: expected a procedure and an argument list")
   | Primop ("call-with-current-continuation" | "call/cc") -> (
       match vals with
       | [ f ] ->
+          note_alloc_site t ~site ~phase:(Some Prov.P_escape);
           let store, tag = Store.alloc store Unspecified in
           let escape = Escape (tag, next) in
-          invoke t { config with store } f [ escape ] next
+          invoke ~site t { config with store } f [ escape ] next
       | _ -> Stuck_state "call/cc: expected exactly 1 argument")
   | Primop name -> (
       match Prim.find name with
       | None -> Stuck_state (Printf.sprintf "unknown primitive: %s" name)
       | Some fn -> (
+          note_alloc_site t ~site ~phase:None;
           match fn t.ctx store vals with
           | store, v -> Next { config with control = `Value v; cont = next; store }
           | exception Prim.Prim_error m -> Stuck_state m
@@ -536,7 +571,7 @@ let step_value t config v =
                   cont = next;
                   store = Store.set store l v;
                 }))
-  | Push { pending; remaining; evaluated; fv_rest; env; next; _ } -> (
+  | Push { pending; remaining; evaluated; fv_rest; env; next; site; _ } -> (
       let evaluated = (pending, v) :: evaluated in
       match remaining with
       | (j, e) :: rest ->
@@ -561,8 +596,8 @@ let step_value t config v =
               control = `Expr e;
               env;
               cont =
-                push ~fv_rest:fv_rest' ~pending:j ~remaining:rest ~evaluated
-                  ~env:frame_env ~next ();
+                push ~fv_rest:fv_rest' ~site ~pending:j ~remaining:rest
+                  ~evaluated ~env:frame_env ~next ();
             }
       | [] -> (
           let in_order =
@@ -575,10 +610,10 @@ let step_value t config v =
                   config with
                   control = `Value operator;
                   env;
-                  cont = call ~vals:(List.map snd operands) ~next;
+                  cont = call ~site ~vals:(List.map snd operands) ~next ();
                 }
           | _ -> assert false))
-  | Call { vals; next; _ } -> invoke t config v vals next
+  | Call { vals; next; site; _ } -> invoke ~site t config v vals next
   | Return { env; next; _ } ->
       Next { config with control = `Value v; env; cont = next }
   | Return_stack { dels; env; next; _ } -> delete_frame t config v dels env next
@@ -732,6 +767,8 @@ let create_with (cfg : Config.t) =
       seed = cfg.seed;
       engine = cfg.engine;
       annot = (if cfg.annotate then Some (Annot.create ()) else None);
+      prov = None;
+      track_sites = false;
       ctx = Prim.make_ctx ~seed:cfg.seed ();
       genv = Env.empty;
       gstore = Store.empty;
@@ -792,15 +829,42 @@ type result = {
 let space_consumption r = r.program_size + r.peak_space
 
 (* A one-line description of a configuration, for tracing and for the
-   telemetry ring buffer. *)
-let describe_config config =
+   telemetry ring buffer. With an annotation table the line names the
+   provenance site of the redex — the expression being reduced, or for
+   value configurations the expression that pushed the top frame — so a
+   stuck-state dump points at source, not just at a frame depth. *)
+let describe_config ?annot config =
+  let span e =
+    let s = Ast.to_string e in
+    if String.length s > 48 then String.sub s 0 45 ^ "..." else s
+  in
+  let top_site = function
+    | Halt -> -1
+    | Select { site; _ }
+    | Assign { site; _ }
+    | Push { site; _ }
+    | Call { site; _ }
+    | Return { site; _ }
+    | Return_stack { site; _ } -> site
+  in
   let control =
     match config.control with
-    | `Expr e ->
-        let s = Ast.to_string e in
-        let s = if String.length s > 48 then String.sub s 0 45 ^ "..." else s in
-        "E " ^ s
-    | `Value v -> "V " ^ tag_of_value v
+    | `Expr e -> (
+        match annot with
+        | Some a when Annot.site_id a e <> None ->
+            Printf.sprintf "E@s%d %s" (Option.get (Annot.site_id a e)) (span e)
+        | _ -> "E " ^ span e)
+    | `Value v -> (
+        let base = "V " ^ tag_of_value v in
+        match annot with
+        | None -> base
+        | Some a -> (
+            let site = top_site config.cont in
+            if site < 0 then base
+            else
+              match Annot.site_expr a site with
+              | Some e -> Printf.sprintf "%s @s%d %s" base site (span e)
+              | None -> Printf.sprintf "%s @s%d" base site))
   in
   Printf.sprintf "%-50s |rho|=%-4d k-depth=%-4d space=%d" control
     (Env.cardinal config.env) (cont_depth config.cont) (flat_space config)
@@ -824,6 +888,7 @@ module Run_opts = struct
     measure_linked : bool;
     gc_policy : [ `Exact | `Approximate ];
     telemetry : Telemetry.t option;
+    provenance : Census.t option;
   }
 
   let default =
@@ -834,18 +899,31 @@ module Run_opts = struct
       measure_linked = false;
       gc_policy = `Exact;
       telemetry = None;
+      provenance = None;
     }
 
   let make ?(fuel = default.fuel) ?budget ?fault
       ?(measure_linked = default.measure_linked)
-      ?(gc_policy = default.gc_policy) ?telemetry () =
-    { fuel; budget; fault; measure_linked; gc_policy; telemetry }
+      ?(gc_policy = default.gc_policy) ?telemetry ?provenance () =
+    { fuel; budget; fault; measure_linked; gc_policy; telemetry; provenance }
 end
 
 let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
-    ?(gc_policy = `Exact) ?telemetry ?on_step ?trace t expr =
+    ?(gc_policy = `Exact) ?telemetry ?provenance ?on_step ?trace t expr =
   (match t.annot with Some a -> Annot.record a expr | None -> ());
   Buffer.clear t.ctx.output;
+  (match provenance with
+  | None ->
+      t.prov <- None;
+      t.track_sites <- false
+  | Some c ->
+      (match t.annot with
+      | None ->
+          invalid_arg
+            "Machine.run: provenance requires a machine built with annotate"
+      | Some a -> Census.set_annot c a);
+      t.prov <- Some c;
+      t.track_sites <- true);
   let budget = Option.value budget ~default:Resilience.Budget.unlimited in
   let guard = Resilience.Guard.start ~default_fuel:fuel budget in
   let fault = Option.value fault ~default:Resilience.Fault.none in
@@ -859,10 +937,44 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
   let record_gc reason store reclaimed =
     if reclaimed > 0 then begin
       incr gc_runs;
+      (* the allocation observer only sees additions; re-derive the
+         advisory per-site live table from the survivor set *)
+      (match provenance with
+      | Some c -> Census.rescan c store
+      | None -> ());
       match telemetry with
       | Some tl ->
           Telemetry.record_gc tl ~step:!cur_step ~reason
             ~live:(Store.cardinal store) ~freed:reclaimed
+      | None -> ()
+    end
+  in
+  (* Peak updates that additionally stash the peak configuration for the
+     census. Every call site is post-collection, so a stashed store is
+     fully reachable from the stashed roots — the retainer walk in
+     [Census] relies on this. *)
+  let note_flat config =
+    let s = flat_space config in
+    if s > !peak then begin
+      peak := s;
+      match provenance with
+      | Some c ->
+          Census.stash_flat c ~control:config.control ~env:config.env
+            ~cont:config.cont ~store:config.store
+      | None -> ()
+    end
+  in
+  let note_linked config =
+    let s =
+      Space.linked_config_space ~control:config.control ~env:config.env
+        ~cont:config.cont ~store:config.store
+    in
+    if s > !peak_linked then begin
+      peak_linked := s;
+      match provenance with
+      | Some c ->
+          Census.stash_linked c ~control:config.control ~env:config.env
+            ~cont:config.cont ~store:config.store
       | None -> ()
     end
   in
@@ -872,11 +984,8 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
          must be garbage collected before every observation. *)
       let config, reclaimed = collect config in
       record_gc Telemetry.Gc_linked config.store reclaimed;
-      peak := Stdlib.max !peak (flat_space config);
-      peak_linked :=
-        Stdlib.max !peak_linked
-          (Space.linked_config_space ~control:config.control ~env:config.env
-             ~cont:config.cont ~store:config.store);
+      note_flat config;
+      note_linked config;
       config
     end
     else begin
@@ -896,7 +1005,7 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
       else begin
         let config, reclaimed = collect config in
         record_gc Telemetry.Gc_peak config.store reclaimed;
-        peak := Stdlib.max !peak (flat_space config);
+        note_flat config;
         config
       end
     end
@@ -910,6 +1019,9 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
     | Some tl -> Telemetry.wants_config tl
     | None -> false
   in
+  (* Configuration descriptions should name provenance sites even when
+     no census was requested: site threading is free bookkeeping. *)
+  if want_config && Option.is_some t.annot then t.track_sites <- true;
   let observe config steps =
     (match (telemetry, on_step) with
     | None, None -> ()
@@ -923,7 +1035,11 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
         | None -> ());
         (match on_step with Some f -> f ~steps ~space | None -> ()));
     if want_config then begin
-      let description = describe_config config in
+      let description =
+        describe_config
+          ?annot:(if t.track_sites then t.annot else None)
+          config
+      in
       (match telemetry with
       | Some tl -> Telemetry.record_config tl ~step:steps description
       | None -> ());
@@ -961,7 +1077,7 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
           let config, reclaimed = collect config in
           record_gc Telemetry.Gc_budget config.store reclaimed;
           let live = flat_space config in
-          peak := Stdlib.max !peak live;
+          note_flat config;
           if live > b then
             (config, Some (Resilience.Space_exceeded { budget = b; live }))
           else (config, None)
@@ -987,12 +1103,29 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
               store
           in
           record_gc Telemetry.Gc_final store reclaimed;
-          peak := Stdlib.max !peak (value_space v + Store.space store);
-          if measure_linked then
-            peak_linked :=
-              Stdlib.max !peak_linked
-                (Space.linked_config_space ~control:(`Value v) ~env:Env.empty
-                   ~cont:Halt ~store);
+          (* Definition 21's final measurement has no environment and no
+             Halt word in the flat model — a distinct stash shape. *)
+          let s = value_space v + Store.space store in
+          if s > !peak then begin
+            peak := s;
+            match provenance with
+            | Some c -> Census.stash_flat_final c ~v ~store
+            | None -> ()
+          end;
+          if measure_linked then begin
+            let sl =
+              Space.linked_config_space ~control:(`Value v) ~env:Env.empty
+                ~cont:Halt ~store
+            in
+            if sl > !peak_linked then begin
+              peak_linked := sl;
+              match provenance with
+              | Some c ->
+                  Census.stash_linked c ~control:(`Value v) ~env:Env.empty
+                    ~cont:Halt ~store
+              | None -> ()
+            end
+          end;
           (Done { value = v; store; answer = Answer.to_string store v }, steps + 1)
       | Stuck_state m -> (Stuck m, steps)
   in
@@ -1008,9 +1141,17 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
                    ~kind:(alloc_kind_of_value v)
                    ~words:(1 + value_space v)))
     in
-    if Resilience.Fault.observes_alloc fault then
-      Store.add_observer store (fun _ -> Resilience.Fault.on_alloc faults)
-    else store
+    let store =
+      if Resilience.Fault.observes_alloc fault then
+        Store.add_observer store (fun _ -> Resilience.Fault.on_alloc faults)
+      else store
+    in
+    (* Provenance last: location observers already run after every value
+       observer, so a raising fault hook aborts the allocation before it
+       is tagged. *)
+    match provenance with
+    | Some c -> Census.instrument c store
+    | None -> store
   in
   let initial =
     { control = `Expr expr; env = t.genv; cont = Halt; store = initial_store }
@@ -1053,7 +1194,7 @@ let run_string ?fuel ?budget ?fault ?measure_linked ?gc_policy ?telemetry
 let exec ?(opts = Run_opts.default) t expr =
   run ~fuel:opts.fuel ?budget:opts.budget ?fault:opts.fault
     ~measure_linked:opts.measure_linked ~gc_policy:opts.gc_policy
-    ?telemetry:opts.telemetry t expr
+    ?telemetry:opts.telemetry ?provenance:opts.provenance t expr
 
 let exec_program ?opts t ~program ~input =
   exec ?opts t (Ast.Call (program, [ input ]))

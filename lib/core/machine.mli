@@ -232,6 +232,17 @@ module Run_opts : sig
             dump when a run gets {!Stuck}), and an optional
             space-over-time profile. A run without telemetry pays
             nothing beyond an [is-None] branch per step *)
+    provenance : Census.t option;
+        (** space-provenance census: tag every allocation with its
+            allocation site, thread site ids through continuation
+            frames, and stash the exact peak configurations so
+            {!Census.flat_census}/{!Census.linked_census} can decompose
+            the measured peaks per site afterwards. Requires a machine
+            built with [annotate = true] ([Invalid_argument] otherwise);
+            the linked stash additionally requires [measure_linked].
+            Sites are bookkeeping — answers, steps, and peaks are
+            unchanged (the differential oracle checks the censuses sum
+            to the peaks exactly) *)
   }
 
   val default : t
@@ -243,6 +254,7 @@ module Run_opts : sig
     ?measure_linked:bool ->
     ?gc_policy:[ `Exact | `Approximate ] ->
     ?telemetry:Tailspace_telemetry.Telemetry.t ->
+    ?provenance:Census.t ->
     unit ->
     t
   (** {!default} with the given fields replaced. *)
@@ -272,6 +284,7 @@ val run :
   ?measure_linked:bool ->
   ?gc_policy:[ `Exact | `Approximate ] ->
   ?telemetry:Tailspace_telemetry.Telemetry.t ->
+  ?provenance:Census.t ->
   ?on_step:(steps:int -> space:int -> unit) ->
   ?trace:(int -> string -> unit) ->
   t ->

@@ -13,10 +13,22 @@ type t = {
       (* allocation observer; survives the persistent updates so every
          store derived from an instrumented one reports its allocations
          (the telemetry layer attaches one per measured run) *)
+  observe_loc : (Types.loc -> Types.value -> unit) option;
+      (* like [observe] but also told the location being allocated;
+         runs after every value observer (so a fault hook that raises
+         abandons the allocation before this fires) — the provenance
+         layer's site-tagging hook *)
 }
 
 let empty =
-  { cells = Imap.empty; space = 0; count = 0; next = 0; observe = None }
+  {
+    cells = Imap.empty;
+    space = 0;
+    count = 0;
+    next = 0;
+    observe = None;
+    observe_loc = None;
+  }
 
 let with_observer t observe = { t with observe }
 
@@ -33,8 +45,22 @@ let add_observer t f =
               f v);
       }
 
+let add_loc_observer t f =
+  match t.observe_loc with
+  | None -> { t with observe_loc = Some f }
+  | Some g ->
+      {
+        t with
+        observe_loc =
+          Some
+            (fun l v ->
+              g l v;
+              f l v);
+      }
+
 let alloc t v =
   (match t.observe with Some f -> f v | None -> ());
+  (match t.observe_loc with Some f -> f t.next v | None -> ());
   let sz = Types.value_space v in
   ( {
       t with

@@ -48,6 +48,13 @@ val add_observer : t -> (Types.value -> unit) -> t
     same run. An observer may raise (the fault hook does); the
     allocation is then abandoned before the store changes. *)
 
+val add_loc_observer : t -> (Types.loc -> Types.value -> unit) -> t
+(** Chain an observer that is additionally told the location being
+    allocated. Location observers run after every value observer, so a
+    raising fault hook abandons the allocation before any location is
+    reported. Used by the provenance layer to tag each location with
+    its allocation site. *)
+
 val iter : (Types.loc -> Types.value -> unit) -> t -> unit
 val fold : (Types.loc -> Types.value -> 'a -> 'a) -> t -> 'a -> 'a
 

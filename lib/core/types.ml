@@ -28,8 +28,19 @@ and cont =
       next : cont;
       size : int;
       depth : int;
+      site : int;
+          (* provenance site of the expression that pushed the frame;
+             -1 when provenance is off. Sites are bookkeeping, not
+             space: they never contribute to [size]. *)
     }
-  | Assign of { id : string; env : Env.t; next : cont; size : int; depth : int }
+  | Assign of {
+      id : string;
+      env : Env.t;
+      next : cont;
+      size : int;
+      depth : int;
+      site : int;
+    }
   | Push of {
       pending : int;
       remaining : (int * Ast.expr) list;
@@ -43,15 +54,29 @@ and cont =
       next : cont;
       size : int;
       depth : int;
+      site : int;
     }
-  | Call of { vals : value list; next : cont; size : int; depth : int }
-  | Return of { env : Env.t; next : cont; size : int; depth : int }
+  | Call of {
+      vals : value list;
+      next : cont;
+      size : int;
+      depth : int;
+      site : int;
+    }
+  | Return of {
+      env : Env.t;
+      next : cont;
+      size : int;
+      depth : int;
+      site : int;
+    }
   | Return_stack of {
       dels : loc list;
       env : Env.t;
       next : cont;
       size : int;
       depth : int;
+      site : int;
     }
 
 let cont_space = function
@@ -76,7 +101,7 @@ let cont_depth = function
   | Return_stack { depth; _ } ->
       depth
 
-let select ~e1 ~e2 ~env ~next =
+let select ?(site = -1) ~e1 ~e2 ~env ~next () =
   Select
     {
       e1;
@@ -85,9 +110,10 @@ let select ~e1 ~e2 ~env ~next =
       next;
       size = 1 + Env.cardinal env + cont_space next;
       depth = 1 + cont_depth next;
+      site;
     }
 
-let assign ~id ~env ~next =
+let assign ?(site = -1) ~id ~env ~next () =
   Assign
     {
       id;
@@ -95,12 +121,14 @@ let assign ~id ~env ~next =
       next;
       size = 1 + Env.cardinal env + cont_space next;
       depth = 1 + cont_depth next;
+      site;
     }
 
 (* Figure 7: 1 + m + n + |Dom rho| + space(kappa). The expression being
    evaluated ([pending]) is in the accumulator, not in the frame, so [m]
    counts only [remaining]. *)
-let push ?(fv_rest = []) ~pending ~remaining ~evaluated ~env ~next () =
+let push ?(fv_rest = []) ?(site = -1) ~pending ~remaining ~evaluated ~env
+    ~next () =
   let m = List.length remaining and n = List.length evaluated in
   Push
     {
@@ -112,27 +140,30 @@ let push ?(fv_rest = []) ~pending ~remaining ~evaluated ~env ~next () =
       next;
       size = 1 + m + n + Env.cardinal env + cont_space next;
       depth = 1 + cont_depth next;
+      site;
     }
 
-let call ~vals ~next =
+let call ?(site = -1) ~vals ~next () =
   Call
     {
       vals;
       next;
       size = 1 + List.length vals + cont_space next;
       depth = 1 + cont_depth next;
+      site;
     }
 
-let return_gc ~env ~next =
+let return_gc ?(site = -1) ~env ~next () =
   Return
     {
       env;
       next;
       size = 1 + Env.cardinal env + cont_space next;
       depth = 1 + cont_depth next;
+      site;
     }
 
-let return_stack ~dels ~env ~next =
+let return_stack ?(site = -1) ~dels ~env ~next () =
   Return_stack
     {
       dels;
@@ -140,6 +171,7 @@ let return_stack ~dels ~env ~next =
       next;
       size = 1 + Env.cardinal env + cont_space next;
       depth = 1 + cont_depth next;
+      site;
     }
 
 let value_space = function

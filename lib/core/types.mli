@@ -44,8 +44,19 @@ and cont =
       next : cont;
       size : int;
       depth : int;
+      site : int;
+          (** provenance site of the expression that pushed the frame
+              ([-1] when provenance is off); bookkeeping only — sites
+              never contribute to [size] *)
     }
-  | Assign of { id : string; env : Env.t; next : cont; size : int; depth : int }
+  | Assign of {
+      id : string;
+      env : Env.t;
+      next : cont;
+      size : int;
+      depth : int;
+      site : int;
+    }
   | Push of {
       pending : int;  (** original position of the expression being evaluated *)
       remaining : (int * Ast.expr) list;
@@ -60,11 +71,24 @@ and cont =
       next : cont;
       size : int;
       depth : int;
+      site : int;
     }
-  | Call of { vals : value list; next : cont; size : int; depth : int }
+  | Call of {
+      vals : value list;
+      next : cont;
+      size : int;
+      depth : int;
+      site : int;
+    }
       (** operands in operator/operand order; the operator is in the
           accumulator *)
-  | Return of { env : Env.t; next : cont; size : int; depth : int }
+  | Return of {
+      env : Env.t;
+      next : cont;
+      size : int;
+      depth : int;
+      site : int;
+    }
       (** [I_gc] *)
   | Return_stack of {
       dels : loc list;  (** the nondeterministically chosen set [A] *)
@@ -72,15 +96,20 @@ and cont =
       next : cont;
       size : int;
       depth : int;
+      site : int;
     }  (** [I_stack] *)
 
-(** {1 Smart constructors} (compute the cached flat size) *)
+(** {1 Smart constructors} (compute the cached flat size; [?site] is
+    the provenance site of the pushing expression, default [-1]) *)
 
-val select : e1:Ast.expr -> e2:Ast.expr -> env:Env.t -> next:cont -> cont
-val assign : id:string -> env:Env.t -> next:cont -> cont
+val select :
+  ?site:int -> e1:Ast.expr -> e2:Ast.expr -> env:Env.t -> next:cont -> unit -> cont
+
+val assign : ?site:int -> id:string -> env:Env.t -> next:cont -> unit -> cont
 
 val push :
   ?fv_rest:Ast.Iset.t list ->
+  ?site:int ->
   pending:int ->
   remaining:(int * Ast.expr) list ->
   evaluated:(int * value) list ->
@@ -89,9 +118,9 @@ val push :
   unit ->
   cont
 
-val call : vals:value list -> next:cont -> cont
-val return_gc : env:Env.t -> next:cont -> cont
-val return_stack : dels:loc list -> env:Env.t -> next:cont -> cont
+val call : ?site:int -> vals:value list -> next:cont -> unit -> cont
+val return_gc : ?site:int -> env:Env.t -> next:cont -> unit -> cont
+val return_stack : ?site:int -> dels:loc list -> env:Env.t -> next:cont -> unit -> cont
 
 (** {1 Flat space model (Figure 7)} *)
 

@@ -17,6 +17,15 @@ let all =
 loop
 |}
       [ (0, "done"); (100, "done") ];
+    entry "append" "non-tail list append: frames accumulate on the spine"
+      {|
+(define (app a b)
+  (if (null? a) b (cons (car a) (app (cdr a) b))))
+(define (iota n) (if (zero? n) '() (cons n (iota (- n 1)))))
+(define (go n) (length (app (iota n) (iota n))))
+go
+|}
+      [ (6, "12"); (20, "40") ];
     entry "fib-naive" "doubly recursive Fibonacci (non-tail)"
       {|
 (define (fib n)

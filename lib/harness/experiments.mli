@@ -40,6 +40,7 @@ module Thm25 : sig
 
   val run :
     ?pool:Pool.t ->
+    ?engine:Machine.engine ->
     ?ns:int list ->
     ?budget:Tailspace_resilience.Resilience.Budget.t ->
     unit ->
@@ -69,7 +70,9 @@ module Thm24 : sig
             S_sfs <= S_free <= S_tail *)
   }
 
-  val run : ?pool:Pool.t -> ?include_slow:bool -> unit -> row list
+  val run :
+    ?pool:Pool.t -> ?engine:Machine.engine -> ?include_slow:bool -> unit -> row list
+
   val render : row list -> string
 end
 
@@ -92,6 +95,7 @@ module Thm26 : sig
 
   val run :
     ?pool:Pool.t ->
+    ?engine:Machine.engine ->
     ?ns:int list ->
     ?budget:Tailspace_resilience.Resilience.Budget.t ->
     unit ->
@@ -111,7 +115,7 @@ module Sec4 : sig
     fit : Growth.fit option;
   }
 
-  val run : ?pool:Pool.t -> ?ns:int list -> unit -> row list
+  val run : ?pool:Pool.t -> ?engine:Machine.engine -> ?ns:int list -> unit -> row list
   val render : row list -> string
 end
 
@@ -124,7 +128,9 @@ module Cor20 : sig
     agree : bool;
   }
 
-  val run : ?pool:Pool.t -> ?include_slow:bool -> unit -> row list
+  val run :
+    ?pool:Pool.t -> ?engine:Machine.engine -> ?include_slow:bool -> unit -> row list
+
   val render : row list -> string
 end
 
@@ -141,6 +147,7 @@ module Cps : sig
 
   val run :
     ?pool:Pool.t ->
+    ?engine:Machine.engine ->
     ?ns:int list ->
     ?budget:Tailspace_resilience.Resilience.Budget.t ->
     unit ->
@@ -169,7 +176,7 @@ module Ablation : sig
     tail_evlis_divergence_literal : float;
   }
 
-  val run : ?pool:Pool.t -> ?ns:int list -> unit -> result
+  val run : ?pool:Pool.t -> ?engine:Machine.engine -> ?ns:int list -> unit -> result
   val render : result -> string
 end
 
@@ -207,6 +214,14 @@ module Sanity : sig
   val render : result -> string
 end
 
-val render_all : ?pool:Pool.t -> unit -> string
+val render_all : ?pool:Pool.t -> ?engine:Machine.engine -> unit -> string
 (** Every experiment's table, in order — the paper-reproduction report
-    that [bench/main.exe] prints. *)
+    that [bench/main.exe] prints. [engine] selects the measuring engine
+    where bit-compatibility suffices (default [Stepper]): the
+    instrumented bytecode VM implements only [I_tail], so the selection
+    applies to Tail-variant sweep points — where its step counts and
+    peaks are identical to the stepper's (oracle-checked) — and every
+    other variant stays on the stepper, keeping the tables
+    byte-identical with only the wall-clock changing. E1 (static
+    analysis) and E9 (which compares implementations itself) ignore the
+    selection. *)

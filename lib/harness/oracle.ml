@@ -1,9 +1,11 @@
 module Machine = Tailspace_core.Machine
+module Census = Tailspace_core.Census
 module Expand = Tailspace_expander.Expand
 module Corpus = Tailspace_corpus.Corpus
 module Families = Tailspace_corpus.Families
 module Resilience = Tailspace_resilience.Resilience
 module Json = Tailspace_telemetry.Telemetry.Json
+module P = Tailspace_provenance.Provenance
 
 (* Corollary 20 says the observable answer is independent of the
    machine variant; the lazy-collection argument behind Definition 21
@@ -35,6 +37,8 @@ type report = {
   annot_failures : string list;
   vm_invariant : bool;
   vm_failures : string list;
+  census_invariant : bool;
+  census_failures : string list;
   ok : bool;
 }
 
@@ -225,6 +229,80 @@ let vm_agreement ~fuel () =
           List.rev !fails)
     Corpus.all
 
+(* The provenance layer claims two invariants strong enough to check
+   differentially: every census sums exactly to the measured peak (flat
+   and linked, all six variants — [Provenance.total] telescopes back to
+   the figure telemetry reported), and the instrumented VM's censuses
+   are configuration-identical to the Tail stepper's. Labels are
+   stripped before the cross-engine comparison: the two engines expand
+   the program separately, so gensym'd names differ while site ids and
+   structure agree. *)
+let census_agreement ~fuel () =
+  let fails = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+  let censuses engine variant program n =
+    let census = Census.create () in
+    let opts =
+      Machine.Run_opts.make ~fuel ~measure_linked:true ~provenance:census ()
+    in
+    let m =
+      Runner.run_once ~opts
+        ~config:(Machine.Config.make ~engine ~variant ())
+        ~program ~n ()
+    in
+    (* [Runner] folds the program size into [space] and [linked]; the
+       census peaks are the raw machine figures. *)
+    let psize = m.Runner.space - m.Runner.peak_space in
+    let linked_peak =
+      match m.Runner.linked with Some l -> l - psize | None -> 0
+    in
+    ( Census.flat_census census ~peak:m.Runner.peak_space,
+      Census.linked_census census ~peak:linked_peak )
+  in
+  let check_sums name variant (c : P.t option) what =
+    match c with
+    | None -> add "%s %s: no %s census captured" name variant what
+    | Some c ->
+        if P.total c <> c.P.peak then
+          add "%s %s: %s census sums to %d, telemetry peak %d" name variant
+            what (P.total c) c.P.peak;
+        let stack_sum =
+          List.fold_left (fun acc (s : P.stack) -> acc + s.P.swords) 0 c.P.stacks
+        in
+        if c.P.stacks <> [] && stack_sum <> c.P.peak then
+          add "%s %s: %s flamegraph stacks sum to %d, peak %d" name variant
+            what stack_sum c.P.peak
+  in
+  let stripped c = Json.to_string (P.to_json ~with_labels:false c) in
+  List.iter
+    (fun name ->
+      match Corpus.find name with
+      | None -> add "census: corpus entry %s missing" name
+      | Some e ->
+          let n = match e.Corpus.checks with (n, _) :: _ -> n | [] -> 0 in
+          let program = Corpus.program e in
+          List.iter
+            (fun variant ->
+              let v = Machine.variant_name variant in
+              let flat, linked = censuses Machine.Stepper variant program n in
+              check_sums name v flat "flat";
+              check_sums name v linked "linked")
+            Machine.all_variants;
+          let sf, sl = censuses Machine.Stepper Machine.Tail program n in
+          let vf, vl = censuses Machine.Vm Machine.Tail program n in
+          let agree what a b =
+            match (a, b) with
+            | Some a, Some b ->
+                if not (String.equal (stripped a) (stripped b)) then
+                  add "%s: %s census differs between stepper and VM" name what
+            | None, None -> ()
+            | _ -> add "%s: %s census captured on one engine only" name what
+          in
+          agree "flat" sf vf;
+          agree "linked" sl vl)
+    [ "countdown"; "append" ];
+  List.rev !fails
+
 let run ?(fuel = 2_000_000) ?programs () =
   let programs =
     match programs with Some ps -> ps | None -> default_programs ()
@@ -243,9 +321,11 @@ let run ?(fuel = 2_000_000) ?programs () =
   let annot_invariant = annot_failures = [] in
   let vm_failures = vm_agreement ~fuel () in
   let vm_invariant = vm_failures = [] in
+  let census_failures = census_agreement ~fuel () in
+  let census_invariant = census_failures = [] in
   let ok =
     cross_variant_agree && algol_stuck_on_demand && annot_invariant
-    && vm_invariant
+    && vm_invariant && census_invariant
     && List.for_all (fun c -> c.answer_agrees && c.peak_stable) checks
   in
   {
@@ -256,6 +336,8 @@ let run ?(fuel = 2_000_000) ?programs () =
     annot_failures;
     vm_invariant;
     vm_failures;
+    census_invariant;
+    census_failures;
     ok;
   }
 
@@ -268,18 +350,22 @@ let render r =
     (Printf.sprintf
        "differential oracle: %d checks, cross-variant agreement %s, algol \
         dangling-pointer stuck state %s, annotation invariance %s, bytecode \
-        VM agreement %s\n"
+        VM agreement %s, census invariance %s\n"
        (List.length r.checks)
        (if r.cross_variant_agree then "ok" else "FAILED")
        (if r.algol_stuck_on_demand then "reachable" else "NOT REACHABLE")
        (if r.annot_invariant then "ok" else "FAILED")
-       (if r.vm_invariant then "ok" else "FAILED"));
+       (if r.vm_invariant then "ok" else "FAILED")
+       (if r.census_invariant then "ok" else "FAILED"));
   List.iter
     (fun f -> Buffer.add_string buf (Printf.sprintf "ANNOT MISMATCH %s\n" f))
     r.annot_failures;
   List.iter
     (fun f -> Buffer.add_string buf (Printf.sprintf "VM MISMATCH %s\n" f))
     r.vm_failures;
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "CENSUS MISMATCH %s\n" f))
+    r.census_failures;
   (match failures r with
   | [] -> Buffer.add_string buf "all adversarial schedules agree with baseline\n"
   | fs ->
@@ -321,6 +407,9 @@ let to_json r =
         Json.List (List.map (fun s -> Json.Str s) r.annot_failures) );
       ("vm_invariant", Json.Bool r.vm_invariant);
       ("vm_failures", Json.List (List.map (fun s -> Json.Str s) r.vm_failures));
+      ("census_invariant", Json.Bool r.census_invariant);
+      ( "census_failures",
+        Json.List (List.map (fun s -> Json.Str s) r.census_failures) );
       ("checks", Json.Int (List.length r.checks));
       ("failures", Json.List (List.map check_to_json (failures r)));
     ]

@@ -52,6 +52,14 @@ type report = {
           stepper's *)
   vm_failures : string list;
       (** human-readable description of each VM disagreement *)
+  census_invariant : bool;
+      (** heap censuses are sound: per-site live words sum exactly to
+          the measured peak under both the flat and linked measures on
+          all six variants, flamegraph stacks partition the flat peak,
+          and the stepper and instrumented VM produce identical
+          censuses (modulo display labels) *)
+  census_failures : string list;
+      (** human-readable description of each census disagreement *)
   ok : bool;
 }
 
@@ -77,4 +85,4 @@ val render : report -> string
 val to_json : report -> Json.t
 (** [{"ok", "cross_variant_agree", "algol_stuck_on_demand",
     "annot_invariant", "annot_failures", "vm_invariant", "vm_failures",
-    "checks", "failures"}]. *)
+    "census_invariant", "census_failures", "checks", "failures"}]. *)

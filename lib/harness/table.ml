@@ -105,3 +105,57 @@ let supervised (s : Runner.supervised) =
       (List.length s.Runner.points)
       (if s.Runner.degraded = 0 then ""
        else Printf.sprintf ", %d degraded" s.Runner.degraded)
+
+module P = Tailspace_provenance.Provenance
+
+let census (c : P.t) =
+  let pct words =
+    if c.P.peak = 0 then "-"
+    else Printf.sprintf "%.1f%%" (100. *. float_of_int words /. float_of_int c.P.peak)
+  in
+  let retainers (r : P.row) =
+    match r.P.retained_by with
+    | [] -> ""
+    | roots ->
+        String.concat ","
+          (List.map (fun (s, ph) -> P.label_of c s ph) roots)
+  in
+  let row (r : P.row) =
+    [
+      (if r.P.site >= 0 then string_of_int r.P.site else "-");
+      P.phase_name r.P.phase;
+      string_of_int r.P.words;
+      pct r.P.words;
+      (if r.P.cells > 0 then string_of_int r.P.cells else "-");
+      P.label_of c r.P.site r.P.phase;
+      retainers r;
+    ]
+  in
+  Printf.sprintf "%s census: peak %s\n"
+    (P.measure_name c.P.measure)
+    (P.humanize_words c.P.peak)
+  ^ render
+      ~header:[ "site"; "phase"; "words"; "peak%"; "cells"; "label"; "retained-by" ]
+      (List.map row c.P.rows)
+
+let census_diff ~label_a ~label_b (deltas : P.delta list) =
+  let row (d : P.delta) =
+    let delta = d.P.words_b - d.P.words_a in
+    let rel =
+      if d.P.words_a = 0 then (if d.P.words_b = 0 then "0%" else "new")
+      else
+        Printf.sprintf "%+.1f%%" (P.percent_delta ~from:d.P.words_a ~to_:d.P.words_b)
+    in
+    [
+      (if d.P.dsite >= 0 then string_of_int d.P.dsite else "-");
+      P.phase_name d.P.dphase;
+      string_of_int d.P.words_a;
+      string_of_int d.P.words_b;
+      Printf.sprintf "%+d" delta;
+      rel;
+      d.P.dlabel;
+    ]
+  in
+  render
+    ~header:[ "site"; "phase"; label_a; label_b; "delta"; "rel"; "label" ]
+    (List.map row deltas)

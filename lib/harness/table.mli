@@ -17,3 +17,17 @@ val supervised : Runner.supervised -> string
 (** A supervised sweep as a partial table: every requested point gets a
     row, failed ones carry their abort reason and degradation note; a
     trailing line summarizes answered/degraded counts. *)
+
+val census : Tailspace_provenance.Provenance.t -> string
+(** A heap census as a table: one row per (site, phase), words, share
+    of the peak, store cells, the site's source label, and the roots
+    that retain it. *)
+
+val census_diff :
+  label_a:string ->
+  label_b:string ->
+  Tailspace_provenance.Provenance.delta list ->
+  string
+(** A per-site census comparison (the [spaceprof --diff] view):
+    absolute and relative word deltas between two variants, largest
+    absolute delta first. *)

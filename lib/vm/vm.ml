@@ -14,6 +14,8 @@ module Answer = Tailspace_core.Answer
 module Annot = Tailspace_analysis.Annot
 module Telemetry = Tailspace_telemetry.Telemetry
 module Resilience = Tailspace_resilience.Resilience
+module Census = Tailspace_core.Census
+module Prov = Tailspace_provenance.Provenance
 
 type outcome =
   | Done of string
@@ -1152,7 +1154,25 @@ module Measured = struct
     ctx : Prim.ctx;
     quotes : value Ptbl.t;
     calls : call_static Ptbl.t;
+    annot : Annot.t option;
+        (* the stepper machine's table, so site ids are assigned by the
+           same insertion order as [Machine.run]'s — the bit-compatible
+           peaks then imply configuration-identical censuses *)
+    prov : Census.t option;
+    track_sites : bool;
   }
+
+  let site_of m e =
+    if not m.track_sites then -1
+    else
+      match m.annot with
+      | None -> -1
+      | Some a -> ( match Annot.site_id a e with Some s -> s | None -> -1)
+
+  let note_alloc_site m ~site ~phase =
+    match m.prov with
+    | None -> ()
+    | Some c -> Census.set_alloc_site c ~site ~phase
 
   let call_static m e f args =
     match Ptbl.find_opt m.calls e with
@@ -1218,14 +1238,23 @@ module Measured = struct
             | Some v -> INext { config with control = `Value v }))
     | Ast.Lambda lam ->
         (* I_tail captures the full environment. *)
+        note_alloc_site m ~site:(site_of m e) ~phase:(Some Prov.P_closure);
         let store, tag = Store.alloc store Unspecified in
         INext { config with control = `Value (Closure (tag, lam, env)); store }
     | Ast.If (e0, e1, e2) ->
         INext
-          { config with control = `Expr e0; cont = select ~e1 ~e2 ~env ~next:cont }
+          {
+            config with
+            control = `Expr e0;
+            cont = select ~site:(site_of m e) ~e1 ~e2 ~env ~next:cont ();
+          }
     | Ast.Set (i, e0) ->
         INext
-          { config with control = `Expr e0; cont = assign ~id:i ~env ~next:cont }
+          {
+            config with
+            control = `Expr e0;
+            cont = assign ~site:(site_of m e) ~id:i ~env ~next:cont ();
+          }
     | Ast.Call (f, args) ->
         let cs = call_static m e f args in
         let first, remaining =
@@ -1243,11 +1272,11 @@ module Measured = struct
             config with
             control = `Expr cs.exprs.(first);
             cont =
-              push ~fv_rest:[] ~pending:first ~remaining ~evaluated:[] ~env
-                ~next:cont ();
+              push ~fv_rest:[] ~site:(site_of m e) ~pending:first ~remaining
+                ~evaluated:[] ~env ~next:cont ();
           }
 
-  let rec invoke m config v0 vals next =
+  let rec invoke ?(site = -1) m config v0 vals next =
     let { store; _ } = config in
     match v0 with
     | Closure (_, lam, captured) ->
@@ -1272,12 +1301,15 @@ module Measured = struct
               | [] -> assert false
           in
           let direct, extra = split np vals in
+          note_alloc_site m ~site ~phase:(Some Prov.P_rib);
           let store, plocs = Store.alloc_many store direct in
           let store, rest_binding =
             match lam.Ast.rest with
             | None -> (store, [])
             | Some r ->
+                note_alloc_site m ~site ~phase:None;
                 let store, lst = Prim.values_to_list store extra in
+                note_alloc_site m ~site ~phase:(Some Prov.P_rib);
                 let store, rl = Store.alloc store lst in
                 (store, [ (r, rl) ])
           in
@@ -1307,20 +1339,23 @@ module Measured = struct
               (List.rev (List.tl r), List.hd r)
             in
             match Prim.list_to_values store last with
-            | Some flattened -> invoke m config f (middle @ flattened) next
+            | Some flattened ->
+                invoke ~site m config f (middle @ flattened) next
             | None -> IStuck "apply: last argument is not a proper list")
         | _ -> IStuck "apply: expected a procedure and an argument list")
     | Primop ("call-with-current-continuation" | "call/cc") -> (
         match vals with
         | [ f ] ->
+            note_alloc_site m ~site ~phase:(Some Prov.P_escape);
             let store, tag = Store.alloc store Unspecified in
             let escape = Escape (tag, next) in
-            invoke m { config with store } f [ escape ] next
+            invoke ~site m { config with store } f [ escape ] next
         | _ -> IStuck "call/cc: expected exactly 1 argument")
     | Primop name -> (
         match Prim.find name with
         | None -> IStuck (Printf.sprintf "unknown primitive: %s" name)
         | Some fn -> (
+            note_alloc_site m ~site ~phase:None;
             match fn m.ctx store vals with
             | store, v ->
                 INext { config with control = `Value v; cont = next; store }
@@ -1354,7 +1389,7 @@ module Measured = struct
                     cont = next;
                     store = Store.set store l v;
                   }))
-    | Push { pending; remaining; evaluated; env; next; _ } -> (
+    | Push { pending; remaining; evaluated; env; next; site; _ } -> (
         let evaluated = (pending, v) :: evaluated in
         match remaining with
         | (j, e) :: rest ->
@@ -1364,8 +1399,8 @@ module Measured = struct
                 control = `Expr e;
                 env;
                 cont =
-                  push ~fv_rest:[] ~pending:j ~remaining:rest ~evaluated ~env
-                    ~next ();
+                  push ~fv_rest:[] ~site ~pending:j ~remaining:rest ~evaluated
+                    ~env ~next ();
               }
         | [] -> (
             let in_order =
@@ -1378,10 +1413,10 @@ module Measured = struct
                     config with
                     control = `Value operator;
                     env;
-                    cont = call ~vals:(List.map snd operands) ~next;
+                    cont = call ~site ~vals:(List.map snd operands) ~next ();
                   }
             | _ -> assert false))
-    | Call { vals; next; _ } -> invoke m config v vals next
+    | Call { vals; next; site; _ } -> invoke ~site m config v vals next
     | Return _ | Return_stack _ ->
         (* Only I_gc/I_stack build these frames; the tier is Tail-only. *)
         IStuck "vm: unexpected return frame (not an I_tail continuation)"
@@ -1430,12 +1465,28 @@ module Measured = struct
     let machine = Machine.create_with { cfg with Machine.Config.engine = Stepper } in
     let genv, gstore = Machine.initial machine in
     let expr = Ast.Call (program, [ input ]) in
+    (* Record into the stepper machine's own table: its insertion order
+       (prelude first, then this program) matches what [Machine.run]
+       would produce, so site ids agree across engines. *)
+    let annot = Machine.annotations machine in
+    (match annot with Some a -> Annot.record a expr | None -> ());
+    let provenance = opts.Machine.Run_opts.provenance in
+    (match provenance with
+    | None -> ()
+    | Some c -> (
+        match annot with
+        | None ->
+            invalid_arg "Vm: provenance requires a config with annotate = true"
+        | Some a -> Census.set_annot c a));
     let m =
       {
         cfg;
         ctx = Prim.make_ctx ~seed:cfg.Machine.Config.seed ();
         quotes = Ptbl.create 64;
         calls = Ptbl.create 64;
+        annot;
+        prov = provenance;
+        track_sites = Option.is_some provenance && Option.is_some annot;
       }
     in
     let fuel = opts.Machine.Run_opts.fuel in
@@ -1459,6 +1510,9 @@ module Measured = struct
     let record_gc reason store reclaimed =
       if reclaimed > 0 then begin
         incr gc_runs;
+        (match provenance with
+        | Some c -> Census.rescan c store
+        | None -> ());
         match telemetry with
         | Some tl ->
             Telemetry.record_gc tl ~step:!cur_step ~reason
@@ -1466,15 +1520,37 @@ module Measured = struct
         | None -> ()
       end
     in
+    let note_flat config =
+      let s = flat_space config in
+      if s > !peak then begin
+        peak := s;
+        match provenance with
+        | Some c ->
+            Census.stash_flat c ~control:config.control ~env:config.env
+              ~cont:config.cont ~store:config.store
+        | None -> ()
+      end
+    in
+    let note_linked config =
+      let s =
+        Space.linked_config_space ~control:config.control ~env:config.env
+          ~cont:config.cont ~store:config.store
+      in
+      if s > !peak_linked then begin
+        peak_linked := s;
+        match provenance with
+        | Some c ->
+            Census.stash_linked c ~control:config.control ~env:config.env
+              ~cont:config.cont ~store:config.store
+        | None -> ()
+      end
+    in
     let measure config =
       if measure_linked then begin
         let config, reclaimed = collect config in
         record_gc Telemetry.Gc_linked config.store reclaimed;
-        peak := Stdlib.max !peak (flat_space config);
-        peak_linked :=
-          Stdlib.max !peak_linked
-            (Space.linked_config_space ~control:config.control ~env:config.env
-               ~cont:config.cont ~store:config.store);
+        note_flat config;
+        note_linked config;
         config
       end
       else begin
@@ -1488,7 +1564,7 @@ module Measured = struct
         else begin
           let config, reclaimed = collect config in
           record_gc Telemetry.Gc_peak config.store reclaimed;
-          peak := Stdlib.max !peak (flat_space config);
+          note_flat config;
           config
         end
       end
@@ -1525,7 +1601,7 @@ module Measured = struct
             let config, reclaimed = collect config in
             record_gc Telemetry.Gc_budget config.store reclaimed;
             let live = flat_space config in
-            peak := Stdlib.max !peak live;
+            note_flat config;
             if live > b then
               (config, Some (Resilience.Space_exceeded { budget = b; live }))
             else (config, None)
@@ -1550,12 +1626,27 @@ module Measured = struct
                       ~cont:Halt store
                   in
                   record_gc Telemetry.Gc_final store reclaimed;
-                  peak := Stdlib.max !peak (value_space v + Store.space store);
-                  if measure_linked then
-                    peak_linked :=
-                      Stdlib.max !peak_linked
-                        (Space.linked_config_space ~control:(`Value v)
-                           ~env:Env.empty ~cont:Halt ~store);
+                  let s = value_space v + Store.space store in
+                  if s > !peak then begin
+                    peak := s;
+                    match provenance with
+                    | Some c -> Census.stash_flat_final c ~v ~store
+                    | None -> ()
+                  end;
+                  if measure_linked then begin
+                    let sl =
+                      Space.linked_config_space ~control:(`Value v)
+                        ~env:Env.empty ~cont:Halt ~store
+                    in
+                    if sl > !peak_linked then begin
+                      peak_linked := sl;
+                      match provenance with
+                      | Some c ->
+                          Census.stash_linked c ~control:(`Value v)
+                            ~env:Env.empty ~cont:Halt ~store
+                      | None -> ()
+                    end
+                  end;
                   ( Done (Answer.to_string store v),
                     steps + 1,
                     Some v,
@@ -1574,9 +1665,14 @@ module Measured = struct
                      ~kind:(alloc_kind_of_value v)
                      ~words:(1 + value_space v)))
       in
-      if Resilience.Fault.observes_alloc fault then
-        Store.add_observer store (fun _ -> Resilience.Fault.on_alloc faults)
-      else store
+      let store =
+        if Resilience.Fault.observes_alloc fault then
+          Store.add_observer store (fun _ -> Resilience.Fault.on_alloc faults)
+        else store
+      in
+      match provenance with
+      | Some c -> Census.instrument c store
+      | None -> store
     in
     let initial =
       { control = `Expr expr; env = genv; cont = Halt; store = initial_store }
@@ -1621,6 +1717,8 @@ let exec_program ?(opts = Machine.Run_opts.default) (cfg : Machine.Config.t)
       if opts.Machine.Run_opts.measure_linked then
         invalid_arg
           "Vm: linked-space measurement requires the instrumented tier";
+      if Option.is_some opts.Machine.Run_opts.provenance then
+        invalid_arg "Vm: the provenance census requires the instrumented tier";
       (match opts.Machine.Run_opts.fault with
       | Some f when not (Resilience.Fault.is_none f) ->
           invalid_arg "Vm: fault injection requires the instrumented tier"

@@ -52,7 +52,7 @@ let test_collect_through_cont () =
   let s, in_frame = Store.alloc s (T.Sym "frame-held") in
   let s, loose = Store.alloc s (T.Sym "loose") in
   let frame_env = Env.add "y" in_frame Env.empty in
-  let k = T.select ~e1:unit_body ~e2:unit_body ~env:frame_env ~next:T.Halt in
+  let k = T.select ~e1:unit_body ~e2:unit_body ~env:frame_env ~next:T.Halt () in
   let s', n = Gc.collect ~control_locs:[] ~env:Env.empty ~cont:k s in
   check_int "loose reclaimed" 1 n;
   Alcotest.(check bool) "frame binding kept" true (Store.mem s' in_frame);
@@ -62,7 +62,7 @@ let test_collect_through_escape () =
   let s = Store.empty in
   let s, held = Store.alloc s (T.Sym "held") in
   let s, tag = Store.alloc s T.Unspecified in
-  let k = T.assign ~id:"x" ~env:(Env.add "x" held Env.empty) ~next:T.Halt in
+  let k = T.assign ~id:"x" ~env:(Env.add "x" held Env.empty) ~next:T.Halt () in
   let escape = T.Escape (tag, k) in
   let s, home = Store.alloc s escape in
   let s', n =
@@ -76,7 +76,7 @@ let test_return_stack_pins_deletions () =
      Algol-like stack allocation — A counts as an occurrence. *)
   let s = Store.empty in
   let s, pinned = Store.alloc s (T.Sym "garbage-but-pinned") in
-  let k = T.return_stack ~dels:[ pinned ] ~env:Env.empty ~next:T.Halt in
+  let k = T.return_stack ~dels:[ pinned ] ~env:Env.empty ~next:T.Halt () in
   let s', n = Gc.collect ~control_locs:[] ~env:Env.empty ~cont:k s in
   check_int "nothing reclaimed" 0 n;
   Alcotest.(check bool) "pinned" true (Store.mem s' pinned)
@@ -88,7 +88,7 @@ let test_rebased_env_roots () =
   let s, b = Store.alloc s (T.Sym "b") in
   let base = Env.rebase (Env.add_list [ ("a", a); ("b", b) ] Env.empty) in
   let e1 = Env.add "x" a base in
-  let k = T.select ~e1:unit_body ~e2:unit_body ~env:e1 ~next:T.Halt in
+  let k = T.select ~e1:unit_body ~e2:unit_body ~env:e1 ~next:T.Halt () in
   let s', n = Gc.collect ~control_locs:[] ~env:base ~cont:k s in
   check_int "none reclaimed" 0 n;
   Alcotest.(check bool) "b survives via shared base" true (Store.mem s' b)

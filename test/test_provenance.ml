@@ -1,0 +1,282 @@
+(* The space-provenance profiler: golden per-site censuses for the
+   countdown and append families on I_tail vs I_stack (exact word
+   counts pinned — the census is deterministic), plus the QCheck
+   invariant that per-site live words sum exactly to the measured peak
+   under both the flat and linked measures. *)
+
+module M = Tailspace_core.Machine
+module Census = Tailspace_core.Census
+module P = Tailspace_provenance.Provenance
+module R = Tailspace_harness.Runner
+module Corpus = Tailspace_corpus.Corpus
+
+let corpus_program name =
+  match Corpus.find name with
+  | Some e -> Corpus.program e
+  | None -> Alcotest.failf "corpus entry %S missing" name
+
+(* One profiled run: the censuses and the raw peaks they must sum to.
+   [peak_space] is the raw flat peak; the linked measurement folds |P|
+   in and must shed it. *)
+let profile ?(engine = M.Stepper) ~variant name n =
+  let program = corpus_program name in
+  let census = Census.create () in
+  let opts =
+    M.Run_opts.make ~fuel:2_000_000 ~measure_linked:true ~provenance:census ()
+  in
+  let m =
+    R.run_once ~opts ~config:(M.Config.make ~engine ~variant ()) ~program ~n ()
+  in
+  let psize = m.R.space - m.R.peak_space in
+  let flat = Census.flat_census census ~peak:m.R.peak_space in
+  let linked =
+    match m.R.linked with
+    | Some l -> Census.linked_census census ~peak:(l - psize)
+    | None -> None
+  in
+  (m, flat, linked)
+
+let rows_of (c : P.t) =
+  List.map (fun (r : P.row) -> (r.P.site, P.phase_name r.P.phase, r.P.words)) c.P.rows
+
+let row_t = Alcotest.(triple int string int)
+
+let check_census what expected = function
+  | None -> Alcotest.failf "%s: no census was stashed" what
+  | Some c ->
+      Alcotest.check (Alcotest.list row_t) what expected (rows_of c);
+      Alcotest.(check int) (what ^ ": rows sum to peak") c.P.peak (P.total c)
+
+(* --- golden censuses ---------------------------------------------- *)
+
+let test_golden_countdown_tail () =
+  let _, flat, linked = profile ~variant:M.Tail "countdown" 10 in
+  check_census "countdown/tail flat"
+    [
+      (-1, "globals", 2793);
+      (548, "frame", 102);
+      (-1, "control", 101);
+      (547, "frame", 101);
+      (552, "frame", 101);
+      (-1, "register-env", 100);
+      (534, "closure", 2);
+      (546, "closure", 2);
+      (550, "rib", 2);
+      (-1, "halt", 1);
+    ]
+    flat;
+  check_census "countdown/tail linked"
+    [
+      (-1, "globals", 357);
+      (552, "rib", 7);
+      (-1, "control", 5);
+      (543, "frame", 3);
+      (550, "rib", 3);
+      (544, "frame", 2);
+      (546, "closure", 2);
+      (-1, "halt", 1);
+    ]
+    linked
+
+let test_golden_countdown_stack () =
+  let _, flat, linked = profile ~variant:M.Stack "countdown" 10 in
+  check_census "countdown/stack flat"
+    [
+      (-1, "globals", 2793);
+      (544, "frame", 1010);
+      (537, "frame", 103);
+      (545, "frame", 102);
+      (550, "rib", 102);
+      (-1, "register-env", 101);
+      (552, "frame", 101);
+      (544, "rib", 45);
+      (552, "rib", 6);
+      (546, "closure", 2);
+      (-1, "control", 1);
+      (-1, "halt", 1);
+    ]
+    flat;
+  check_census "countdown/stack linked"
+    [
+      (-1, "globals", 357);
+      (544, "rib", 44);
+      (544, "frame", 11);
+      (552, "rib", 6);
+      (543, "frame", 3);
+      (550, "rib", 3);
+      (-1, "control", 2);
+      (546, "closure", 2);
+      (-1, "halt", 1);
+      (552, "frame", 1);
+    ]
+    linked
+
+let test_golden_append_tail () =
+  let _, flat, _ = profile ~variant:M.Tail "append" 6 in
+  check_census "append/tail flat"
+    [
+      (-1, "globals", 2793);
+      (561, "frame", 642);
+      (587, "rib", 315);
+      (543, "frame", 108);
+      (544, "frame", 107);
+      (559, "frame", 107);
+      (560, "frame", 106);
+      (-1, "register-env", 104);
+      (561, "bignum", 26);
+      (560, "rib", 21);
+      (561, "pair", 20);
+      (542, "rib", 5);
+      (589, "rib", 5);
+      (-1, "control", 2);
+      (545, "closure", 2);
+      (561, "atom", 2);
+      (563, "closure", 2);
+      (565, "rib", 2);
+      (583, "closure", 2);
+      (585, "rib", 2);
+      (-1, "halt", 1);
+    ]
+    flat
+
+let test_golden_append_stack () =
+  let _, flat, _ = profile ~variant:M.Stack "append" 6 in
+  check_census "append/stack flat"
+    [
+      (-1, "globals", 2793);
+      (561, "frame", 642);
+      (560, "frame", 624);
+      (587, "rib", 315);
+      (543, "frame", 108);
+      (544, "frame", 107);
+      (551, "frame", 106);
+      (562, "frame", 105);
+      (589, "frame", 105);
+      (-1, "register-env", 104);
+      (542, "frame", 104);
+      (561, "bignum", 26);
+      (560, "rib", 23);
+      (561, "pair", 20);
+      (542, "rib", 5);
+      (589, "rib", 5);
+      (545, "closure", 2);
+      (561, "atom", 2);
+      (563, "closure", 2);
+      (565, "rib", 2);
+      (583, "closure", 2);
+      (585, "rib", 2);
+      (-1, "control", 1);
+      (-1, "halt", 1);
+    ]
+    flat
+
+(* The non-tail accumulation shows up as continuation-frame words on
+   the recursive call sites; diffing I_tail against I_stack must
+   surface frame rows that only I_stack carries. *)
+let test_diff_surfaces_stack_frames () =
+  let _, fa, _ = profile ~variant:M.Tail "append" 6 in
+  let _, fb, _ = profile ~variant:M.Stack "append" 6 in
+  match (fa, fb) with
+  | Some ca, Some cb ->
+      let deltas = P.diff ca cb in
+      let stack_only_frames =
+        List.filter
+          (fun (d : P.delta) ->
+            d.P.dphase = P.P_frame && d.P.words_a = 0 && d.P.words_b > 0)
+          deltas
+      in
+      Alcotest.(check bool)
+        "I_stack carries frame sites I_tail reclaims" true
+        (stack_only_frames <> []);
+      (* deltas are sorted by decreasing |delta| *)
+      let abs_deltas =
+        List.map (fun (d : P.delta) -> abs (d.P.words_b - d.P.words_a)) deltas
+      in
+      Alcotest.(check bool)
+        "deltas sorted" true
+        (List.sort (fun a b -> compare b a) abs_deltas = abs_deltas)
+  | _ -> Alcotest.fail "censuses missing"
+
+(* Stepper and instrumented VM produce identical censuses (modulo the
+   advisory labels, which embed gensym'd names). *)
+let test_vm_census_agrees () =
+  List.iter
+    (fun (name, n) ->
+      let _, sf, sl = profile ~engine:M.Stepper ~variant:M.Tail name n in
+      let _, vf, vl = profile ~engine:M.Vm ~variant:M.Tail name n in
+      let strip = function
+        | Some c -> P.Json.to_string (P.to_json ~with_labels:false c)
+        | None -> "<none>"
+      in
+      Alcotest.(check string) (name ^ ": flat") (strip sf) (strip vf);
+      Alcotest.(check string) (name ^ ": linked") (strip sl) (strip vl))
+    [ ("countdown", 10); ("append", 6) ]
+
+(* --- the sum-to-total invariant, property-checked ------------------ *)
+
+let fast_entries =
+  Corpus.all
+  |> List.filter (fun (e : Corpus.entry) -> (not e.Corpus.slow) && e.Corpus.checks <> [])
+
+let prop_census_sums_to_peak =
+  QCheck.Test.make ~count:40 ~name:"census sums to measured peak (both measures)"
+    QCheck.(
+      triple
+        (int_bound (List.length fast_entries - 1))
+        (int_bound (List.length M.all_variants - 1))
+        (int_range 1 8))
+    (fun (ei, vi, n) ->
+      let e = List.nth fast_entries ei in
+      let variant = List.nth M.all_variants vi in
+      let census = Census.create () in
+      let opts =
+        M.Run_opts.make ~fuel:2_000_000 ~measure_linked:true
+          ~provenance:census ()
+      in
+      let m =
+        R.run_once ~opts
+          ~config:(M.Config.make ~variant ())
+          ~program:(Corpus.program e) ~n ()
+      in
+      let psize = m.R.space - m.R.peak_space in
+      let flat_ok =
+        match Census.flat_census census ~peak:m.R.peak_space with
+        | None -> m.R.steps = 0
+        | Some c ->
+            P.total c = c.P.peak
+            && c.P.peak = m.R.peak_space
+            && List.fold_left
+                 (fun a (s : P.stack) -> a + s.P.swords)
+                 0 c.P.stacks
+               = c.P.peak
+      in
+      let linked_ok =
+        match m.R.linked with
+        | None -> false
+        | Some l -> (
+            match Census.linked_census census ~peak:(l - psize) with
+            | None -> m.R.steps = 0
+            | Some c -> P.total c = c.P.peak && c.P.peak = l - psize)
+      in
+      flat_ok && linked_ok)
+
+let () =
+  Alcotest.run "provenance"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "countdown I_tail" `Quick test_golden_countdown_tail;
+          Alcotest.test_case "countdown I_stack" `Quick
+            test_golden_countdown_stack;
+          Alcotest.test_case "append I_tail" `Quick test_golden_append_tail;
+          Alcotest.test_case "append I_stack" `Quick test_golden_append_stack;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "tail vs stack frames" `Quick
+            test_diff_surfaces_stack_frames;
+        ] );
+      ( "engines",
+        [ Alcotest.test_case "stepper = vm" `Quick test_vm_census_agrees ] );
+      ( "invariant", [ QCheck_alcotest.to_alcotest prop_census_sums_to_peak ] );
+    ]

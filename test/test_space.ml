@@ -46,9 +46,9 @@ let test_cont_space () =
   let env2 = Env.add_list [ ("a", 0); ("b", 1) ] Env.empty in
   let e = A.Var "x" in
   check_int "halt" 1 (T.cont_space T.Halt);
-  let sel = T.select ~e1:e ~e2:e ~env:env2 ~next:T.Halt in
+  let sel = T.select ~e1:e ~e2:e ~env:env2 ~next:T.Halt () in
   check_int "select 1+|dom|+halt" 4 (T.cont_space sel);
-  let asn = T.assign ~id:"a" ~env:env2 ~next:sel in
+  let asn = T.assign ~id:"a" ~env:env2 ~next:sel () in
   (* 1 + |dom|(2) + select(4) *)
   check_int "assign chains" 7 (T.cont_space asn);
   let psh =
@@ -57,11 +57,11 @@ let test_cont_space () =
   in
   (* 1 + m(2) + n(1) + |dom|(2) + halt(1) *)
   check_int "push" 7 (T.cont_space psh);
-  let cal = T.call ~vals:[ T.Nil; T.Nil; T.Nil ] ~next:T.Halt in
+  let cal = T.call ~vals:[ T.Nil; T.Nil; T.Nil ] ~next:T.Halt () in
   check_int "call 1+m+halt" 5 (T.cont_space cal);
-  check_int "return" 4 (T.cont_space (T.return_gc ~env:env2 ~next:T.Halt));
+  check_int "return" 4 (T.cont_space (T.return_gc ~env:env2 ~next:T.Halt ()));
   check_int "return_stack" 4
-    (T.cont_space (T.return_stack ~dels:[ 5 ] ~env:env2 ~next:T.Halt));
+    (T.cont_space (T.return_stack ~dels:[ 5 ] ~env:env2 ~next:T.Halt ()));
   (* escapes carry their continuation's space *)
   check_int "escape" 8 (T.value_space (T.Escape (7, asn)))
 
