@@ -11,6 +11,11 @@
      faults      fault-injection matrix + differential oracle (JSON)
      spaceprof   space-provenance profiler: per-site heap census at the
                  peak, flamegraph export, and per-variant census diffs
+     serve       evaluation-as-a-service daemon: length-prefixed JSON
+                 over TCP or Unix sockets, admission control, per-tenant
+                 quotas, graceful SIGTERM drain
+     loadgen     seeded closed-loop load generator (with poison mix)
+                 against a running serve daemon
 
    exit codes (uniform across subcommands, documented in README):
      0  the program ran to completion (Done)
@@ -656,6 +661,28 @@ let compare_baselines ~wall_band ~space_band old_path new_path =
           ((nw /. ow -. 1.) *. 100.)
           (wall_band *. 100.)
   | _ -> ());
+  (* serve-aware keys (BENCH_serve.json from `schemesim loadgen`):
+     throughput may not drop and tail latency may not grow beyond the
+     wall-clock noise band — both are timing-derived, so they share it *)
+  (match (num "throughput_rps" old_j, num "throughput_rps" new_j) with
+  | Some o, Some n when n < o *. (1. -. wall_band) ->
+      reg "throughput regression: %.1f -> %.1f rps (-%.0f%% > %.0f%% band)" o
+        n
+        ((1. -. (n /. o)) *. 100.)
+        (wall_band *. 100.)
+  | _ -> ());
+  (let p99 j =
+     match Json.member "latency_ms" j with
+     | Some lat -> num "p99" lat
+     | None -> None
+   in
+   match (p99 old_j, p99 new_j) with
+   | Some o, Some n when n > o *. (1. +. wall_band) ->
+       reg "p99 latency regression: %.2fms -> %.2fms (+%.0f%% > %.0f%% band)"
+         o n
+         (((n /. o) -. 1.) *. 100.)
+         (wall_band *. 100.)
+   | _ -> ());
   List.iter
     (fun op ->
       match int_of "n" op with
@@ -1699,6 +1726,184 @@ let spaceprof_cmd =
       $ variant_arg $ engine_arg $ vm_fast_arg $ fuel_arg $ linked_arg
       $ json_arg $ flamegraph_arg $ diff_arg $ top_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / loadgen                                                     *)
+
+module Server = Tailspace_serve.Server
+module Sproto = Tailspace_serve.Protocol
+module Loadgen = Tailspace_serve.Loadgen
+
+let host_arg =
+  let doc = "Address to bind or connect to." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "TCP port (0 asks the kernel for an ephemeral port)." in
+  Arg.(value & opt int 7464 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let socket_arg =
+  let doc = "Serve on a Unix-domain socket at $(docv) instead of TCP." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let endpoint_of ~host ~port ~socket =
+  match socket with
+  | Some path -> Sproto.Unix_domain path
+  | None -> Sproto.Tcp (host, port)
+
+let serve_cmd =
+  let jobs_arg =
+    let doc = "Worker domains (default: the machine's core count)." in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Admission queue capacity; beyond it requests are shed." in
+    Arg.(value & opt int 256 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc =
+      "Per-tenant token-bucket refill rate, requests/second (0 disables \
+       quotas)."
+    in
+    Arg.(value & opt float 50. & info [ "tenant-rate" ] ~docv:"RPS" ~doc)
+  in
+  let burst_arg =
+    let doc = "Per-tenant token-bucket burst." in
+    Arg.(value & opt float 100. & info [ "tenant-burst" ] ~docv:"N" ~doc)
+  in
+  let drain_arg =
+    let doc =
+      "Graceful-shutdown deadline: seconds to finish queued and in-flight \
+       work after SIGTERM before forcing exit."
+    in
+    Arg.(value & opt float 30. & info [ "drain-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_fuel_arg =
+    let doc = "Server-side ceiling on any request's fuel budget." in
+    Arg.(value & opt int 5_000_000 & info [ "max-fuel" ] ~docv:"STEPS" ~doc)
+  in
+  let max_timeout_arg =
+    let doc = "Server-side ceiling on any request's wall-clock budget." in
+    Arg.(value & opt float 10. & info [ "max-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let serve port host socket jobs queue rate burst drain max_fuel max_timeout =
+    let ep = endpoint_of ~host ~port ~socket in
+    let config =
+      {
+        Server.default_config with
+        Server.jobs =
+          Option.value ~default:Server.default_config.Server.jobs jobs;
+        Server.queue_capacity = queue;
+        Server.tenant_rate = rate;
+        Server.tenant_burst = burst;
+        Server.drain_timeout_s = drain;
+        Server.policy =
+          {
+            Server.default_policy with
+            Server.max_fuel;
+            Server.max_timeout_s = max_timeout;
+          };
+      }
+    in
+    let t =
+      try Server.create ~config ep
+      with Unix.Unix_error (e, _, _) ->
+        Format.eprintf "schemesim serve: cannot bind %s: %s@."
+          (Sproto.endpoint_name ep) (Unix.error_message e);
+        exit 2
+    in
+    (* OCaml signal handlers run at safepoints on the main thread; the
+       accept loop's select wakes with EINTR and re-polls the flag *)
+    let stop _ = Server.shutdown t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    (match Server.port t with
+    | Some p -> Format.printf "schemesim serve: listening on %s:%d@." host p
+    | None ->
+        Format.printf "schemesim serve: listening on %s@."
+          (Sproto.endpoint_name ep));
+    (* parent scripts scrape the port from this line *)
+    Format.print_flush ();
+    match Server.run t with
+    | Server.Drained ->
+        Format.printf "schemesim serve: drained cleanly@.";
+        exit 0
+    | Server.Forced ->
+        Format.eprintf
+          "schemesim serve: drain deadline passed; forced shutdown@.";
+        exit 1
+  in
+  let doc =
+    "Run the evaluation service: a fault-tolerant daemon that evaluates, \
+     sweeps, and censuses programs over the length-prefixed JSON protocol, \
+     with admission control, per-tenant quotas, and graceful SIGTERM drain."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ port_arg $ host_arg $ socket_arg $ jobs_arg $ queue_arg
+      $ rate_arg $ burst_arg $ drain_arg $ max_fuel_arg $ max_timeout_arg)
+
+let loadgen_cmd =
+  let clients_arg =
+    let doc = "Concurrent closed-loop clients." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let requests_arg =
+    let doc = "Requests each client issues." in
+    Arg.(value & opt int 25 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let poison_arg =
+    let doc =
+      "Percentage of requests drawn from the poison mix (fuel burners, \
+       space blow-ups, deadline busters, output floods, stuck states, \
+       unparsable sources)."
+    in
+    Arg.(value & opt int 20 & info [ "poison" ] ~docv:"PCT" ~doc)
+  in
+  let seed_arg =
+    let doc = "Workload seed: same seed, same request sequence." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let retries_arg =
+    let doc = "Retry budget per rejected request (seeded backoff)." in
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Also write the JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let loadgen port host socket clients requests poison seed retries out =
+    if poison < 0 || poison > 100 then begin
+      Format.eprintf "schemesim loadgen: --poison must be in 0..100@.";
+      exit 2
+    end;
+    let ep = endpoint_of ~host ~port ~socket in
+    let report =
+      try
+        Loadgen.run ~clients ~requests_per_client:requests ~poison_pct:poison
+          ~seed ~max_retries:retries ep
+      with Unix.Unix_error (e, _, _) ->
+        Format.eprintf "schemesim loadgen: cannot reach %s: %s@."
+          (Sproto.endpoint_name ep) (Unix.error_message e);
+        exit 2
+    in
+    let json = Json.to_string (Loadgen.report_to_json report) in
+    (match out with Some path -> write_file path (json ^ "\n") | None -> ());
+    print_endline json;
+    (* clean run: every request answered with a typed response and no
+       connection reset by the server *)
+    if report.Loadgen.unanswered > 0 || report.Loadgen.resets > 0 then exit 1
+    else exit 0
+  in
+  let doc =
+    "Drive a running evaluation service with a seeded closed-loop workload \
+     (including poison programs) and report latency percentiles and the \
+     outcome-taxonomy histogram as JSON."
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const loadgen $ port_arg $ host_arg $ socket_arg $ clients_arg
+      $ requests_arg $ poison_arg $ seed_arg $ retries_arg $ out_arg)
+
 let () =
   let doc =
     "reference implementations for 'Proper Tail Recursion and Space \
@@ -1718,4 +1923,6 @@ let () =
             report_cmd;
             faults_cmd;
             spaceprof_cmd;
+            serve_cmd;
+            loadgen_cmd;
           ]))

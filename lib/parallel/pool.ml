@@ -1,13 +1,14 @@
 (* A fixed set of worker domains draining a shared queue. One mutex
-   guards everything (the queue, the shutdown flag, and each map's
-   completion counter); two conditions signal "work arrived" to workers
-   and "a map finished" to submitters. Tasks are thunks that have
-   already captured their result slot, so the pool itself is untyped. *)
+   guards everything (the queue, the shutdown flag, each map's
+   completion counter, and every handle's result slot); two conditions
+   signal "work arrived" to workers and "a result landed" to waiters.
+   Tasks are thunks that have already captured their result slot, so
+   the pool itself is untyped. *)
 
 type t = {
   mutex : Mutex.t;
   work_arrived : Condition.t;  (* workers wait here *)
-  map_done : Condition.t;  (* submitters wait here *)
+  result_landed : Condition.t;  (* submitters and awaiters wait here *)
   queue : (unit -> unit) Queue.t;
   mutable shutting_down : bool;
   mutable domains : unit Domain.t array;
@@ -42,7 +43,7 @@ let create ?jobs () =
     {
       mutex = Mutex.create ();
       work_arrived = Condition.create ();
-      map_done = Condition.create ();
+      result_landed = Condition.create ();
       queue = Queue.create ();
       shutting_down = false;
       domains = [||];
@@ -62,7 +63,11 @@ let shutdown pool =
   Mutex.unlock pool.mutex;
   if not already then Array.iter Domain.join pool.domains
 
-type 'b slot = Empty | Ok_ of 'b | Err of exn * Printexc.raw_backtrace
+type 'b slot =
+  | Empty
+  | Ok_ of 'b
+  | Err of exn * Printexc.raw_backtrace
+  | Discarded  (* queued behind a failure in the same batch; never ran *)
 
 let map_on pool f xs =
   let items = Array.of_list xs in
@@ -71,6 +76,12 @@ let map_on pool f xs =
   else begin
     let results = Array.make n Empty in
     let remaining = ref n in
+    (* One flag per batch: the first failure flips it, and every thunk
+       of the batch that has not started yet completes as [Discarded]
+       instead of running — a poisoned batch cannot occupy the workers
+       past its first error, and the workers themselves stay reusable
+       for the next batch. *)
+    let poisoned = ref false in
     Mutex.lock pool.mutex;
     if pool.shutting_down then begin
       Mutex.unlock pool.mutex;
@@ -79,37 +90,89 @@ let map_on pool f xs =
     for i = 0 to n - 1 do
       Queue.push
         (fun () ->
+          Mutex.lock pool.mutex;
+          let skip = !poisoned in
+          Mutex.unlock pool.mutex;
           let r =
-            match f items.(i) with
-            | y -> Ok_ y
-            | exception e -> Err (e, Printexc.get_raw_backtrace ())
+            if skip then Discarded
+            else
+              match f items.(i) with
+              | y -> Ok_ y
+              | exception e -> Err (e, Printexc.get_raw_backtrace ())
           in
           Mutex.lock pool.mutex;
+          (match r with Err _ -> poisoned := true | _ -> ());
           results.(i) <- r;
           decr remaining;
-          if !remaining = 0 then Condition.broadcast pool.map_done;
+          if !remaining = 0 then Condition.broadcast pool.result_landed;
           Mutex.unlock pool.mutex)
         pool.queue
     done;
     Condition.broadcast pool.work_arrived;
     while !remaining > 0 do
-      Condition.wait pool.map_done pool.mutex
+      Condition.wait pool.result_landed pool.mutex
     done;
     Mutex.unlock pool.mutex;
     (* join in submission order; earliest failure wins *)
     Array.iter
       (function
         | Err (e, bt) -> Printexc.raise_with_backtrace e bt
-        | Ok_ _ | Empty -> ())
+        | Ok_ _ | Empty | Discarded -> ())
       results;
     List.init n (fun i ->
         match results.(i) with
         | Ok_ y -> y
-        | Empty | Err _ -> assert false)
+        | Empty | Err _ | Discarded -> assert false)
   end
 
 let map ?pool f xs =
   match pool with None -> List.map f xs | Some pool -> map_on pool f xs
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous handles                                                *)
+
+type 'a handle = { h_pool : t; mutable h_slot : 'a slot }
+
+let submit pool f =
+  let h = { h_pool = pool; h_slot = Empty } in
+  Mutex.lock pool.mutex;
+  if pool.shutting_down then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push
+    (fun () ->
+      let r =
+        match f () with
+        | y -> Ok_ y
+        | exception e -> Err (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock pool.mutex;
+      h.h_slot <- r;
+      Condition.broadcast pool.result_landed;
+      Mutex.unlock pool.mutex)
+    pool.queue;
+  Condition.signal pool.work_arrived;
+  Mutex.unlock pool.mutex;
+  h
+
+let is_done h =
+  Mutex.lock h.h_pool.mutex;
+  let done_ = match h.h_slot with Empty -> false | _ -> true in
+  Mutex.unlock h.h_pool.mutex;
+  done_
+
+let await h =
+  Mutex.lock h.h_pool.mutex;
+  while match h.h_slot with Empty -> true | _ -> false do
+    Condition.wait h.h_pool.result_landed h.h_pool.mutex
+  done;
+  let r = h.h_slot in
+  Mutex.unlock h.h_pool.mutex;
+  match r with
+  | Ok_ y -> y
+  | Err (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Empty | Discarded -> assert false
 
 let with_pool ?jobs f =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in

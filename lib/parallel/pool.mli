@@ -30,13 +30,39 @@ val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ?pool f xs] applies [f] to every element, returning results in
     submission order. Without a [pool] this is exactly [List.map f xs]
     in the calling domain. With a pool, items are queued and the caller
-    blocks until all complete. If any task raises, the remaining tasks
-    still run to completion, then the exception of the {e earliest}
-    failed item (by submission index) is re-raised with its backtrace.
+    blocks until all complete. If any task raises, the batch is
+    poisoned: items of the {e same batch} that have not started yet are
+    discarded without running (in-flight items finish), and then the
+    exception of the {e earliest} failed item (by submission index) is
+    re-raised with its backtrace. The workers survive a poisoned batch
+    and the pool stays usable for subsequent batches and submissions.
 
     Do not call [map] on the same pool from within one of its own tasks:
     the waiting task occupies a worker and the pool can deadlock. The
     harness only maps over leaf-level measurement tasks. *)
+
+(** {1 Asynchronous submission}
+
+    The evaluation service must keep accepting connections while
+    requests run, so it cannot block in {!map}; it enqueues one task at
+    a time and lets the completion land later. A handle is affine in
+    practice: one dispatcher submits, one waiter awaits. *)
+
+type 'a handle
+(** The pending (or completed) result of one submitted task. *)
+
+val submit : t -> (unit -> 'a) -> 'a handle
+(** Enqueue one task without waiting. The caller bounds its own number
+    of outstanding handles (the pool's queue is unbounded by design —
+    admission control lives above it). Raises [Invalid_argument] if the
+    pool is shut down. *)
+
+val await : 'a handle -> 'a
+(** Block until the task completes; returns its result or re-raises its
+    exception with the original backtrace. *)
+
+val is_done : 'a handle -> bool
+(** Whether {!await} would return without blocking. *)
 
 val shutdown : t -> unit
 (** Finish the queued tasks, then join every worker domain. Idempotent. *)

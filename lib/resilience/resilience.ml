@@ -100,7 +100,20 @@ let abort_reason_of_json json =
 (* Wall clock                                                          *)
 
 module Clock = struct
-  let now () = Unix.gettimeofday ()
+  let real () = Unix.gettimeofday ()
+
+  (* The source is a plain ref: tests install a fake clock before
+     spawning any machinery that reads it, so the benign race on the
+     cell itself never matters in practice. *)
+  let source = ref real
+  let now () = !source ()
+  let set f = source := f
+  let reset () = source := real
+
+  let with_source f k =
+    let saved = !source in
+    source := f;
+    Fun.protect ~finally:(fun () -> source := saved) k
 end
 
 (* ------------------------------------------------------------------ *)
@@ -133,6 +146,51 @@ module Budget = struct
         | Some s -> [ ("timeout_s", Json.Float s) ]
         | None -> [])
       @ opt "output_bytes" t.output_bytes)
+
+  let of_json json =
+    match json with
+    | Json.Obj fields ->
+        let bad = ref None in
+        let int_opt name =
+          match List.assoc_opt name fields with
+          | None | Some Json.Null -> None
+          | Some (Json.Int i) -> Some i
+          | Some _ ->
+              bad := Some (Printf.sprintf "budget: %S must be an integer" name);
+              None
+        in
+        let float_opt name =
+          match List.assoc_opt name fields with
+          | None | Some Json.Null -> None
+          | Some (Json.Float f) -> Some f
+          | Some (Json.Int i) -> Some (float_of_int i)
+          | Some _ ->
+              bad := Some (Printf.sprintf "budget: %S must be a number" name);
+              None
+        in
+        let t =
+          {
+            fuel = int_opt "fuel";
+            space_words = int_opt "space_words";
+            timeout_s = float_opt "timeout_s";
+            output_bytes = int_opt "output_bytes";
+          }
+        in
+        (match !bad with None -> Ok t | Some m -> Error m)
+    | _ -> Error "budget: expected an object"
+
+  let clamp ~limit t =
+    let min_opt a b =
+      match (a, b) with
+      | None, x | x, None -> x
+      | Some a, Some b -> Some (Stdlib.min a b)
+    in
+    {
+      fuel = min_opt limit.fuel t.fuel;
+      space_words = min_opt limit.space_words t.space_words;
+      timeout_s = min_opt limit.timeout_s t.timeout_s;
+      output_bytes = min_opt limit.output_bytes t.output_bytes;
+    }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -188,6 +246,38 @@ module Guard = struct
         | Some cap when output_bytes > cap ->
             Some (Output_exceeded { cap; written = output_bytes })
         | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Seeded retry backoff                                                *)
+
+module Backoff = struct
+  type t = {
+    base_s : float;
+    factor : float;
+    max_s : float;
+    mutable attempt : int;
+    mutable rng : int;
+  }
+
+  let mask = 0xFFFFFFFFFFFF
+
+  let make ?(base_s = 0.05) ?(factor = 2.0) ?(max_s = 5.0) ?(seed = 1) () =
+    let rng = if seed land mask = 0 then 0x5DEECE66D else seed land mask in
+    { base_s; factor; max_s; attempt = 0; rng }
+
+  let next t =
+    let raw = t.base_s *. (t.factor ** float_of_int t.attempt) in
+    t.attempt <- t.attempt + 1;
+    (* same LCG as the fault layer; jitter in [0.5, 1.0) of the raw
+       delay so synchronized clients decorrelate without ever retrying
+       immediately *)
+    t.rng <- ((t.rng * 0x5DEECE66D) + 0xB) land mask;
+    let unit = float_of_int ((t.rng lsr 16) land 0xFFFF) /. 65536.0 in
+    Float.min t.max_s (raw *. (0.5 +. (unit /. 2.)))
+
+  let attempt t = t.attempt
+  let reset t = t.attempt <- 0
 end
 
 (* ------------------------------------------------------------------ *)

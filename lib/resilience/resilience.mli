@@ -63,8 +63,24 @@ val abort_reason_of_json : Json.t -> (abort_reason, string) result
 (** {1 Wall clock} *)
 
 module Clock : sig
+  (** The one clock everything in the system reads: {!Guard} deadlines,
+      the server's drain timer and token buckets, bench wall-clocks.
+      The source is injectable so time-dependent tests advance a fake
+      clock instead of sleeping. *)
+
   val now : unit -> float
-  (** Wall-clock seconds ([Unix.gettimeofday]). *)
+  (** Seconds from the current source (default [Unix.gettimeofday]). *)
+
+  val set : (unit -> float) -> unit
+  (** Install a clock source. Install fakes before spawning anything
+      that reads the clock concurrently. *)
+
+  val reset : unit -> unit
+  (** Back to the real wall clock. *)
+
+  val with_source : (unit -> float) -> (unit -> 'a) -> 'a
+  (** [with_source fake k] runs [k] with [fake] installed, restoring
+      the previous source even if [k] raises. *)
 end
 
 (** {1 Budgets} *)
@@ -95,6 +111,47 @@ module Budget : sig
   val is_unlimited : t -> bool
 
   val to_json : t -> Json.t
+
+  val of_json : Json.t -> (t, string) result
+  (** Inverse of {!to_json}; absent or [null] fields stay unlimited.
+      Used by the evaluation service to parse client budgets. *)
+
+  val clamp : limit:t -> t -> t
+  (** [clamp ~limit client]: the pointwise minimum of the two budgets
+      ([None] is unlimited and never wins against a set limit). The
+      server applies its policy budget as [limit], so a client may
+      always ask for less than the policy allows, never more. *)
+end
+
+(** {1 Retry backoff}
+
+    Capped exponential backoff with seeded jitter, for clients that
+    must retry a structured [retry-after] rejection without
+    synchronizing into thundering herds. Deterministic per seed — the
+    load generator's retry schedule is reproducible. *)
+
+module Backoff : sig
+  type t
+
+  val make :
+    ?base_s:float ->
+    ?factor:float ->
+    ?max_s:float ->
+    ?seed:int ->
+    unit ->
+    t
+  (** Defaults: base 0.05s, factor 2, cap 5s. *)
+
+  val next : t -> float
+  (** The next delay: [base * factor^attempt] jittered into
+      [50%, 100%) of itself, capped at [max_s]; advances the attempt
+      counter and the jitter state. *)
+
+  val attempt : t -> int
+  (** Attempts consumed so far. *)
+
+  val reset : t -> unit
+  (** Back to attempt 0 (the jitter state keeps advancing). *)
 end
 
 (** {1 Enforcement}

@@ -1,0 +1,162 @@
+(* ------------------------------------------------------------------ *)
+(* Token buckets                                                       *)
+
+module Bucket = struct
+  type t = {
+    rate : float;
+    burst : float;
+    mutable tokens : float;
+    mutable last : float;
+  }
+
+  let create ~rate ~burst ~now = { rate; burst; tokens = burst; last = now }
+
+  let refill t ~now =
+    if now > t.last then begin
+      t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.last) *. t.rate));
+      t.last <- now
+    end
+
+  let try_take t ~now =
+    if t.rate <= 0. then Ok ()
+    else begin
+      refill t ~now;
+      if t.tokens >= 1. then begin
+        t.tokens <- t.tokens -. 1.;
+        Ok ()
+      end
+      else Error ((1. -. t.tokens) /. t.rate)
+    end
+
+  let level t ~now =
+    refill t ~now;
+    t.tokens
+end
+
+(* ------------------------------------------------------------------ *)
+(* The fair bounded queue                                              *)
+
+type reject =
+  | Queue_full of { depth : int; capacity : int; retry_after_s : float }
+  | Over_quota of { retry_after_s : float }
+  | Closing
+
+let reject_reason = function
+  | Queue_full _ -> "queue-full"
+  | Over_quota _ -> "over-quota"
+  | Closing -> "shutting-down"
+
+let reject_retry_after_s = function
+  | Queue_full { retry_after_s; _ } | Over_quota { retry_after_s } ->
+      retry_after_s
+  | Closing -> 0.
+
+type 'a tenant_q = { queue : 'a Queue.t; bucket : Bucket.t }
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  capacity : int;
+  tenant_rate : float;
+  tenant_burst : float;
+  shed_retry_s : float;
+  tenants : (string, 'a tenant_q) Hashtbl.t;
+  (* round-robin rotation: tenants with a nonempty queue, in service
+     order; a tenant appears at most once *)
+  rotation : string Queue.t;
+  mutable total : int;
+  mutable closed : bool;
+}
+
+let create ?(capacity = 256) ?(tenant_rate = 50.) ?(tenant_burst = 100.)
+    ?(shed_retry_s = 0.25) () =
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    capacity;
+    tenant_rate;
+    tenant_burst;
+    shed_retry_s;
+    tenants = Hashtbl.create 16;
+    rotation = Queue.create ();
+    total = 0;
+    closed = false;
+  }
+
+let locked t k =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) k
+
+let tenant_q t ~now name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some q -> q
+  | None ->
+      let q =
+        {
+          queue = Queue.create ();
+          bucket = Bucket.create ~rate:t.tenant_rate ~burst:t.tenant_burst ~now;
+        }
+      in
+      Hashtbl.add t.tenants name q;
+      q
+
+let offer t ~now ~tenant item =
+  locked t (fun () ->
+      if t.closed then Error Closing
+      else
+        let tq = tenant_q t ~now tenant in
+        match Bucket.try_take tq.bucket ~now with
+        | Error retry_after_s -> Error (Over_quota { retry_after_s })
+        | Ok () ->
+            if t.total >= t.capacity then
+              Error
+                (Queue_full
+                   {
+                     depth = t.total;
+                     capacity = t.capacity;
+                     retry_after_s = t.shed_retry_s;
+                   })
+            else begin
+              if Queue.is_empty tq.queue then Queue.push tenant t.rotation;
+              Queue.push item tq.queue;
+              t.total <- t.total + 1;
+              Condition.signal t.nonempty;
+              Ok ()
+            end)
+
+let take t =
+  locked t (fun () ->
+      let rec wait () =
+        if t.total > 0 then begin
+          (* rotation invariant: every tenant with a nonempty queue is
+             in the rotation exactly once, so the head exists *)
+          let name = Queue.pop t.rotation in
+          let tq = Hashtbl.find t.tenants name in
+          let item = Queue.pop tq.queue in
+          if not (Queue.is_empty tq.queue) then Queue.push name t.rotation;
+          t.total <- t.total - 1;
+          Some item
+        end
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let depth t = locked t (fun () -> t.total)
+
+let tenant_depths t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name tq acc ->
+          let d = Queue.length tq.queue in
+          if d > 0 then (name, d) :: acc else acc)
+        t.tenants []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))

@@ -1,0 +1,74 @@
+(** Admission control for the evaluation service: a bounded queue with
+    per-tenant fair queuing in front of the worker pool, and per-tenant
+    token-bucket quotas.
+
+    The contract is load shedding over unbounded latency: a request
+    either enters the bounded queue or is rejected {e immediately} with
+    a structured retry hint. Tenants drain round-robin, so one tenant
+    flooding the queue cannot starve the others — its requests wait
+    behind its own backlog, not everyone's.
+
+    All time is passed in explicitly (seconds, from the caller's clock)
+    so quota and fairness tests run on a fake clock without sleeping. *)
+
+(** {1 Token buckets} *)
+
+module Bucket : sig
+  type t
+
+  val create : rate:float -> burst:float -> now:float -> t
+  (** [rate] tokens per second, up to [burst] banked. A non-positive
+      [rate] disables the quota (every take succeeds). *)
+
+  val try_take : t -> now:float -> (unit, float) result
+  (** Take one token, refilling first. [Error retry_after_s] says when
+      a token will next be available. *)
+
+  val level : t -> now:float -> float
+  (** Current token level (after refill), for stats. *)
+end
+
+(** {1 The fair bounded queue} *)
+
+type reject =
+  | Queue_full of { depth : int; capacity : int; retry_after_s : float }
+  | Over_quota of { retry_after_s : float }
+  | Closing  (** the server is draining; nothing new is admitted *)
+
+val reject_reason : reject -> string
+(** Short stable tag: ["queue-full"], ["over-quota"], ["shutting-down"]. *)
+
+val reject_retry_after_s : reject -> float
+
+type 'a t
+
+val create :
+  ?capacity:int ->
+  ?tenant_rate:float ->
+  ?tenant_burst:float ->
+  ?shed_retry_s:float ->
+  unit ->
+  'a t
+(** Defaults: capacity 256 queued requests total, 50 requests/s per
+    tenant with a burst of 100, and a 0.25s retry hint when shedding on
+    a full queue. *)
+
+val offer : 'a t -> now:float -> tenant:string -> 'a -> (unit, reject) result
+(** Non-blocking admission: charge the tenant's bucket, then enqueue
+    onto the tenant's FIFO if the global bound allows. *)
+
+val take : 'a t -> 'a option
+(** Dequeue the next request, blocking while the queue is empty and
+    open. Tenants with backlogs are served round-robin; within one
+    tenant, FIFO. [None] once the queue is closed {e and} drained — the
+    dispatcher's signal to exit after finishing the backlog. *)
+
+val close : 'a t -> unit
+(** Stop admitting ({!offer} returns [Closing]); {!take} keeps draining
+    what was already admitted. Idempotent. *)
+
+val depth : 'a t -> int
+(** Requests currently queued (all tenants). *)
+
+val tenant_depths : 'a t -> (string * int) list
+(** Per-tenant backlog sizes, sorted by tenant, empty queues omitted. *)

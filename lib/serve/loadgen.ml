@@ -1,0 +1,376 @@
+module Json = Tailspace_telemetry.Telemetry.Json
+module Res = Tailspace_resilience.Resilience
+module M = Tailspace_core.Machine
+
+type report = {
+  seed : int;
+  clients : int;
+  requests_per_client : int;
+  poison_pct : int;
+  wall_s : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  outcomes : (string * int) list;
+  rejected_final : int;
+  retries : int;
+  resets : int;
+  unanswered : int;
+}
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("tool", Json.Str "schemesim loadgen");
+      ("seed", Json.Int r.seed);
+      ("clients", Json.Int r.clients);
+      ("requests_per_client", Json.Int r.requests_per_client);
+      ("poison_pct", Json.Int r.poison_pct);
+      ("wall_s", Json.Float r.wall_s);
+      ("throughput_rps", Json.Float r.throughput_rps);
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("p50", Json.Float r.p50_ms);
+            ("p95", Json.Float r.p95_ms);
+            ("p99", Json.Float r.p99_ms);
+            ("max", Json.Float r.max_ms);
+          ] );
+      ( "outcomes",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.outcomes) );
+      ("rejected_final", Json.Int r.rejected_final);
+      ("retries", Json.Int r.retries);
+      ("resets", Json.Int r.resets);
+      ("unanswered", Json.Int r.unanswered);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Seeded workload mix                                                 *)
+
+(* the same LCG as Resilience.Fault, so runs are reproducible from the
+   report's seed alone *)
+let lcg_next state =
+  state := ((!state * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
+  !state
+
+let rand_int state bound = lcg_next state mod bound
+
+let healthy_countdown =
+  {|
+(define (loop n) (if (zero? n) 'done (loop (- n 1))))
+loop
+|}
+
+let healthy_sum =
+  {|
+(define (sum n acc) (if (zero? n) acc (sum (- n 1) (+ acc n))))
+(define (go n) (sum n 0))
+go
+|}
+
+let healthy_even_odd =
+  {|
+(define (ev n) (if (zero? n) #t (od (- n 1))))
+(define (od n) (if (zero? n) #f (ev (- n 1))))
+ev
+|}
+
+let poison_spin =
+  {|
+(define (spin n) (spin (+ n 1)))
+spin
+|}
+
+let poison_grow =
+  {|
+(define (grow n acc) (if (zero? n) (length acc) (grow (- n 1) (cons n acc))))
+(define (go n) (grow n '()))
+go
+|}
+
+let poison_flood =
+  {|
+(define (flood n) (if (zero? n) 'done (begin (display n) (flood (- n 1)))))
+flood
+|}
+
+let poison_stuck = {|
+(define (bad n) (car n))
+bad
+|}
+
+let poison_garbage = "((define (oops"
+
+(* one logical request: the JSON to send and the retry policy has the
+   rest *)
+type shot = { sh_label : string; sh_json : Json.t }
+
+let request ~id ~tenant ~op ~program ~n ?ns ?budget () =
+  let fields =
+    [
+      ("id", Json.Str id);
+      ("op", Json.Str op);
+      ("tenant", Json.Str tenant);
+      ("program", Json.Str program);
+    ]
+    @ (match ns with
+      | Some ns -> [ ("ns", Json.List (List.map (fun k -> Json.Int k) ns)) ]
+      | None -> [ ("n", Json.Int n) ])
+    @
+    match budget with
+    | Some b -> [ ("budget", Res.Budget.to_json b) ]
+    | None -> []
+  in
+  Json.Obj fields
+
+let pick_shot ~rng ~poison_pct ~tenant ~id =
+  if rand_int rng 100 < poison_pct then
+    (* poison: every abort reason plus an unparsable source *)
+    match rand_int rng 6 with
+    | 0 ->
+        {
+          sh_label = "poison-fuel";
+          sh_json =
+            request ~id ~tenant ~op:"evaluate" ~program:poison_spin ~n:0
+              ~budget:(Res.Budget.make ~fuel:20_000 ()) ();
+        }
+    | 1 ->
+        {
+          sh_label = "poison-space";
+          sh_json =
+            request ~id ~tenant ~op:"evaluate" ~program:poison_grow ~n:200_000
+              ~budget:(Res.Budget.make ~space_words:20_000 ~fuel:5_000_000 ())
+              ();
+        }
+    | 2 ->
+        {
+          sh_label = "poison-deadline";
+          sh_json =
+            request ~id ~tenant ~op:"evaluate" ~program:poison_spin ~n:0
+              ~budget:(Res.Budget.make ~timeout_s:0.05 ()) ();
+        }
+    | 3 ->
+        {
+          sh_label = "poison-output";
+          sh_json =
+            request ~id ~tenant ~op:"evaluate" ~program:poison_flood
+              ~n:1_000_000
+              ~budget:(Res.Budget.make ~output_bytes:512 ~fuel:5_000_000 ())
+              ();
+        }
+    | 4 ->
+        {
+          sh_label = "poison-stuck";
+          sh_json =
+            request ~id ~tenant ~op:"evaluate" ~program:poison_stuck ~n:7
+              ~budget:(Res.Budget.make ~fuel:10_000 ()) ();
+        }
+    | _ ->
+        {
+          sh_label = "poison-garbage";
+          sh_json =
+            request ~id ~tenant ~op:"evaluate" ~program:poison_garbage ~n:1
+              ~budget:(Res.Budget.make ~fuel:10_000 ()) ();
+        }
+  else
+    let budget = Res.Budget.make ~fuel:2_000_000 ~timeout_s:5. () in
+    match rand_int rng 5 with
+    | 0 ->
+        {
+          sh_label = "countdown";
+          sh_json =
+            request ~id ~tenant ~op:"evaluate" ~program:healthy_countdown
+              ~n:(100 + rand_int rng 400)
+              ~budget ();
+        }
+    | 1 ->
+        {
+          sh_label = "sum";
+          sh_json =
+            request ~id ~tenant ~op:"evaluate" ~program:healthy_sum
+              ~n:(100 + rand_int rng 400)
+              ~budget ();
+        }
+    | 2 ->
+        {
+          sh_label = "even-odd-sweep";
+          sh_json =
+            request ~id ~tenant ~op:"sweep" ~program:healthy_even_odd ~n:0
+              ~ns:[ 10; 20; 30 ] ~budget ();
+        }
+    | 3 ->
+        {
+          sh_label = "census";
+          sh_json =
+            request ~id ~tenant ~op:"census" ~program:healthy_sum
+              ~n:(50 + rand_int rng 100)
+              ~budget ();
+        }
+    | _ ->
+        {
+          sh_label = "health";
+          sh_json =
+            Json.Obj
+              [
+                ("id", Json.Str id);
+                ("op", Json.Str "health");
+                ("tenant", Json.Str tenant);
+              ];
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Clients                                                             *)
+
+type client_tally = {
+  mutable latencies_ms : float list;
+  outcomes : (string, int) Hashtbl.t;
+  mutable c_rejected_final : int;
+  mutable c_retries : int;
+  mutable c_resets : int;
+  mutable c_unanswered : int;
+}
+
+let bump_n tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some m -> Hashtbl.replace tbl key (m + n)
+  | None -> Hashtbl.add tbl key n
+
+let bump tbl key = bump_n tbl key 1
+
+let outcome_key (reply : Protocol.reply) =
+  match (reply.Protocol.r_outcome, reply.Protocol.r_abort_tag) with
+  | "aborted", Some tag -> "aborted:" ^ tag
+  | outcome, _ -> outcome
+
+let client_loop ~endpoint ~requests ~poison_pct ~seed ~max_retries ~tenant
+    ~index tally =
+  let rng = ref ((seed + (index * 7919)) land 0xFFFFFFFFFFFF) in
+  ignore (lcg_next rng);
+  let fd = ref (Protocol.connect endpoint) in
+  let reconnect () =
+    (try Unix.close !fd with Unix.Unix_error _ -> ());
+    fd := Protocol.connect endpoint
+  in
+  let exchange json =
+    Protocol.write_frame !fd json;
+    Protocol.read_frame ~frame_timeout_s:30. !fd
+  in
+  for i = 1 to requests do
+    let id = Printf.sprintf "c%d-r%d" index i in
+    let shot = pick_shot ~rng ~poison_pct ~tenant ~id in
+    let backoff = Res.Backoff.make ~base_s:0.02 ~max_s:0.5 ~seed:(seed + i) () in
+    let rec attempt retries_left =
+      let t0 = Unix.gettimeofday () in
+      match exchange shot.sh_json with
+      | exception (Unix.Unix_error _ | Sys_error _) ->
+          tally.c_resets <- tally.c_resets + 1;
+          tally.c_unanswered <- tally.c_unanswered + 1;
+          reconnect ()
+      | Error _ ->
+          tally.c_resets <- tally.c_resets + 1;
+          tally.c_unanswered <- tally.c_unanswered + 1;
+          reconnect ()
+      | Ok json -> (
+          match Protocol.reply_of_json json with
+          | Error _ ->
+              (* a frame that parses as JSON but not as a reply is still
+                 an answer for accounting, just a malformed one *)
+              bump tally.outcomes "malformed"
+          | Ok reply
+            when reply.Protocol.r_outcome = "rejected" && retries_left > 0 ->
+              tally.c_retries <- tally.c_retries + 1;
+              let wait =
+                Float.max (Res.Backoff.next backoff)
+                  (Option.value ~default:0. reply.Protocol.r_retry_after_s)
+              in
+              Thread.delay wait;
+              attempt (retries_left - 1)
+          | Ok reply ->
+              let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+              tally.latencies_ms <- ms :: tally.latencies_ms;
+              let key = outcome_key reply in
+              bump tally.outcomes key;
+              if key = "rejected" then
+                tally.c_rejected_final <- tally.c_rejected_final + 1)
+    in
+    attempt max_retries
+  done;
+  try Unix.close !fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+
+let percentile sorted p =
+  match sorted with
+  | [||] -> 0.
+  | a ->
+      let n = Array.length a in
+      let idx =
+        Float.to_int (Float.round (p /. 100. *. float_of_int (n - 1)))
+      in
+      a.(Int.max 0 (Int.min (n - 1) idx))
+
+let run ?(clients = 4) ?(requests_per_client = 25) ?(poison_pct = 20)
+    ?(seed = 1) ?(max_retries = 3) ?(tenants = 3) endpoint =
+  let tallies =
+    Array.init clients (fun _ ->
+        {
+          latencies_ms = [];
+          outcomes = Hashtbl.create 16;
+          c_rejected_final = 0;
+          c_retries = 0;
+          c_resets = 0;
+          c_unanswered = 0;
+        })
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun index ->
+        let tenant = Printf.sprintf "tenant-%d" (index mod Int.max 1 tenants) in
+        Thread.create
+          (fun () ->
+            try
+              client_loop ~endpoint ~requests:requests_per_client ~poison_pct
+                ~seed ~max_retries ~tenant ~index tallies.(index)
+            with _ ->
+              (* a client crash loses its remaining requests; count them
+                 as unanswered rather than dying silently *)
+              let answered = List.length tallies.(index).latencies_ms in
+              tallies.(index).c_unanswered <-
+                tallies.(index).c_unanswered
+                + Int.max 0 (requests_per_client - answered))
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Float.max 1e-9 (Unix.gettimeofday () -. t0) in
+  let latencies =
+    Array.of_list (Array.to_list tallies |> List.concat_map (fun t -> t.latencies_ms))
+  in
+  Array.sort Float.compare latencies;
+  let outcomes = Hashtbl.create 16 in
+  Array.iter
+    (fun t -> Hashtbl.iter (fun k v -> bump_n outcomes k v) t.outcomes)
+    tallies;
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let answered = Array.length latencies in
+  {
+    seed;
+    clients;
+    requests_per_client;
+    poison_pct;
+    wall_s;
+    throughput_rps = float_of_int answered /. wall_s;
+    p50_ms = percentile latencies 50.;
+    p95_ms = percentile latencies 95.;
+    p99_ms = percentile latencies 99.;
+    max_ms = (if answered = 0 then 0. else latencies.(answered - 1));
+    outcomes =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcomes []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    rejected_final = sum (fun t -> t.c_rejected_final);
+    retries = sum (fun t -> t.c_retries);
+    resets = sum (fun t -> t.c_resets);
+    unanswered = sum (fun t -> t.c_unanswered);
+  }

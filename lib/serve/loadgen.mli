@@ -1,0 +1,51 @@
+(** Closed-loop load generator for the evaluation service.
+
+    [clients] threads each connect once and issue
+    [requests_per_client] requests back to back (closed loop: the next
+    request waits for the previous reply). The workload mix is drawn
+    from a seeded generator and includes, at [poison_pct] percent, the
+    poison programs the daemon must survive: fuel burners, space
+    blow-ups, deadline busters, output floods, stuck states, and
+    unparsable sources. Rejected requests ([retry_after_s]) are retried
+    with seeded exponential backoff up to [max_retries] times.
+
+    The report is the acceptance surface for `schemesim loadgen`: every
+    request must end in a typed response ([unanswered = 0]) and no
+    connection may be reset by the server ([resets = 0]) for the run to
+    count as clean. *)
+
+type report = {
+  seed : int;
+  clients : int;
+  requests_per_client : int;
+  poison_pct : int;
+  wall_s : float;
+  throughput_rps : float;  (** answered requests per second *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  outcomes : (string * int) list;
+      (** histogram over the error taxonomy: ["done"], ["ok"],
+          ["stuck"], ["aborted:<reason>"], ["error"], ["rejected"] —
+          sorted by key *)
+  rejected_final : int;  (** rejected even after retries *)
+  retries : int;  (** re-sends triggered by rejections *)
+  resets : int;  (** connections dropped mid-conversation *)
+  unanswered : int;  (** requests that never got a typed response *)
+}
+
+val report_to_json : report -> Tailspace_telemetry.Telemetry.Json.t
+
+val run :
+  ?clients:int ->
+  ?requests_per_client:int ->
+  ?poison_pct:int ->
+  ?seed:int ->
+  ?max_retries:int ->
+  ?tenants:int ->
+  Protocol.endpoint ->
+  report
+(** Defaults: 4 clients, 25 requests each, 20% poison, seed 1, up to 3
+    retries per rejection, 3 distinct tenant names. Latency percentiles
+    are measured per answered request on the real clock. *)

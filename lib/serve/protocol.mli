@@ -1,0 +1,134 @@
+(** The evaluation service's wire protocol: length-prefixed JSON frames
+    over a stream socket.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of JSON. The framing layer is written for a hostile peer —
+    truncated frames, oversized length headers, garbage bytes, and
+    slow-loris partial writes all surface as a typed {!read_error}, and
+    never as an exception: the daemon turns each into a typed protocol
+    error response or a clean close. *)
+
+module Json := Tailspace_telemetry.Telemetry.Json
+module M := Tailspace_core.Machine
+module Res := Tailspace_resilience.Resilience
+
+(** {1 Endpoints} *)
+
+type endpoint =
+  | Tcp of string * int  (** host, port (0 = ephemeral) *)
+  | Unix_domain of string  (** socket path *)
+
+val endpoint_name : endpoint -> string
+
+val listen : ?backlog:int -> endpoint -> Unix.file_descr
+(** Bind and listen. TCP sets [SO_REUSEADDR]; a Unix-domain path is
+    unlinked first. Raises [Unix.Unix_error] on failure. *)
+
+val connect : endpoint -> Unix.file_descr
+(** Client side of {!listen}. *)
+
+val bound_port : Unix.file_descr -> int option
+(** The actual port of a listening TCP socket ([Some] after binding
+    port 0), [None] for Unix-domain sockets. *)
+
+(** {1 Framing} *)
+
+val default_max_frame : int
+(** 8 MiB: no legitimate request or response comes close. *)
+
+type read_error =
+  | Closed  (** EOF at a frame boundary: the peer hung up cleanly *)
+  | Idle_closed  (** the [give_up] poll fired while waiting for a frame *)
+  | Truncated  (** EOF in the middle of a frame *)
+  | Oversized of int  (** declared payload length above [max_frame] *)
+  | Bad_json of string  (** complete frame, unparsable payload *)
+  | Timed_out
+      (** the frame did not complete within [frame_timeout_s] of its
+          first byte — the slow-loris guard *)
+
+val read_error_message : read_error -> string
+
+val read_frame :
+  ?max_frame:int ->
+  ?frame_timeout_s:float ->
+  ?give_up:(unit -> bool) ->
+  Unix.file_descr ->
+  (Json.t, read_error) result
+(** Read one frame. While waiting for the first byte the [give_up]
+    predicate is polled a few times a second (the server's drain
+    signal); once a frame has started, its remaining bytes must arrive
+    within [frame_timeout_s] (default 10s) measured on the real
+    clock. *)
+
+val write_frame : Unix.file_descr -> Json.t -> unit
+(** Write one frame, looping over partial writes. Raises
+    [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone; callers
+    serialize writes per connection. *)
+
+(** {1 Requests} *)
+
+type work =
+  | Evaluate of { program : string; n : int }
+      (** run [(program n)] under §12's convention *)
+  | Sweep of { program : string; ns : int list }
+  | Census of { program : string; n : int }
+      (** evaluate plus a per-site space census of the peak *)
+
+type request = {
+  id : Json.t;  (** echoed verbatim in the response; [Null] if absent *)
+  tenant : string;  (** fair-queuing/quota key; default ["anonymous"] *)
+  work : work option;  (** [None] for health/stats *)
+  probe : [ `Health | `Stats ] option;
+  config : M.Config.t;  (** variant/policy knobs the request selected *)
+  budget : Res.Budget.t;  (** client ask — the server clamps it *)
+}
+
+val request_of_json : Json.t -> (request, string) result
+(** Validates shape, op, variant/engine names, and budget fields.
+    Unknown engines/variants and malformed fields are [Error] — the
+    daemon answers these with a status-2 response. *)
+
+val request_to_json : request -> Json.t
+(** Inverse (used by the load generator and tests). *)
+
+(** {1 Responses}
+
+    Every response carries the uniform status taxonomy mirroring the
+    CLI exit codes: [0] the work completed ([done], [ok]); [1] the
+    program failed in a structured way ([stuck], [aborted] with the
+    abort-reason object); [2] the request itself was refused (parse or
+    protocol errors, unknown ops, and admission rejections, which add
+    [retry_after_s]). *)
+
+val response :
+  ?fields:(string * Json.t) list ->
+  id:Json.t ->
+  status:int ->
+  outcome:string ->
+  unit ->
+  Json.t
+
+val error_response : id:Json.t -> string -> Json.t
+(** Status 2, outcome ["error"], with the message. *)
+
+val protocol_error_response : read_error -> Json.t
+(** Status 2, outcome ["protocol-error"] — sent (when the socket is
+    still writable) before closing a connection whose framing broke. *)
+
+val rejected_response :
+  id:Json.t -> reason:string -> retry_after_s:float -> Json.t
+(** Status 2, outcome ["rejected"], with the structured retry hint. *)
+
+(** {1 Reading responses (client side)} *)
+
+type reply = {
+  r_status : int;
+  r_outcome : string;
+  r_answer : string option;
+  r_error : string option;
+  r_abort_tag : string option;  (** the abort-reason tag when aborted *)
+  r_retry_after_s : float option;
+  r_json : Json.t;  (** the whole response object *)
+}
+
+val reply_of_json : Json.t -> (reply, string) result

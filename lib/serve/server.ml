@@ -1,0 +1,596 @@
+module Json = Tailspace_telemetry.Telemetry.Json
+module Tel = Tailspace_telemetry.Telemetry
+module Res = Tailspace_resilience.Resilience
+module Pool = Tailspace_parallel.Pool
+module M = Tailspace_core.Machine
+module R = Tailspace_harness.Runner
+module Census = Tailspace_core.Census
+module Expand = Tailspace_expander.Expand
+module Reader = Tailspace_sexp.Reader
+module Prov = Tailspace_provenance.Provenance
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+
+type policy = {
+  max_fuel : int;
+  max_timeout_s : float;
+  max_space_words : int;
+  max_output_bytes : int;
+  max_sweep_points : int;
+}
+
+let default_policy =
+  {
+    max_fuel = 5_000_000;
+    max_timeout_s = 10.;
+    max_space_words = 50_000_000;
+    max_output_bytes = 1 lsl 20;
+    max_sweep_points = 32;
+  }
+
+type config = {
+  jobs : int;
+  queue_capacity : int;
+  tenant_rate : float;
+  tenant_burst : float;
+  max_frame : int;
+  frame_timeout_s : float;
+  drain_timeout_s : float;
+  policy : policy;
+  now : unit -> float;
+}
+
+let default_config =
+  {
+    jobs = Pool.default_jobs ();
+    queue_capacity = 256;
+    tenant_rate = 50.;
+    tenant_burst = 100.;
+    max_frame = 1 lsl 20;
+    frame_timeout_s = 10.;
+    drain_timeout_s = 30.;
+    policy = default_policy;
+    now = Res.Clock.now;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;  (* serializes response frames *)
+  cmutex : Mutex.t;  (* guards [alive]/[inflight]/[closed] *)
+  mutable alive : bool;  (* writes still allowed *)
+  mutable closed : bool;  (* fd actually closed *)
+  mutable inflight : int;  (* admitted requests not yet responded *)
+}
+
+type job = {
+  j_conn : conn;
+  j_id : Json.t;
+  j_tenant : string;
+  j_work : Protocol.work;
+  j_config : M.Config.t;
+  j_budget : Res.Budget.t;
+}
+
+type outcome = Drained | Forced
+
+type t = {
+  cfg : config;
+  ep : Protocol.endpoint;
+  listen_fd : Unix.file_descr;
+  stopping : bool Atomic.t;
+  queue : job Admission.t;
+  pool : Pool.t;
+  counters : Tel.Counters.t;
+  smutex : Mutex.t;  (* guards [merged], [inflight_jobs], [conns] *)
+  slot_free : Condition.t;
+  mutable merged : Tel.summary;
+  mutable inflight_jobs : int;
+  mutable dispatcher_done : bool;
+  mutable conns : conn list;
+  started_at : float;
+}
+
+(* Tenant names come off the wire; bound what they can do to the
+   counter group and the bucket table. *)
+let sanitize_tenant name =
+  let ok =
+    String.length name > 0
+    && String.length name <= 24
+    && String.for_all
+         (function
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+           | _ -> false)
+         name
+  in
+  if ok then name else "other"
+
+let create ?(config = default_config) ep =
+  (* a peer that disappears mid-write must surface as EPIPE, not kill
+     the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = Protocol.listen ep in
+  {
+    cfg = config;
+    ep;
+    listen_fd;
+    stopping = Atomic.make false;
+    queue =
+      Admission.create ~capacity:config.queue_capacity
+        ~tenant_rate:config.tenant_rate ~tenant_burst:config.tenant_burst ();
+    pool = Pool.create ~jobs:config.jobs ();
+    counters = Tel.Counters.create ();
+    smutex = Mutex.create ();
+    slot_free = Condition.create ();
+    merged = Tel.merge_summaries [];
+    inflight_jobs = 0;
+    dispatcher_done = false;
+    conns = [];
+    started_at = config.now ();
+  }
+
+let port t = Protocol.bound_port t.listen_fd
+let endpoint t = t.ep
+let shutdown t = Atomic.set t.stopping true
+let is_stopping t = Atomic.get t.stopping
+
+(* ------------------------------------------------------------------ *)
+(* Responding                                                          *)
+
+let send t conn json =
+  Mutex.lock conn.wmutex;
+  let sent =
+    Mutex.lock conn.cmutex;
+    let alive = conn.alive in
+    Mutex.unlock conn.cmutex;
+    if not alive then false
+    else
+      try
+        Protocol.write_frame conn.fd json;
+        true
+      with Unix.Unix_error _ | Sys_error _ ->
+        Mutex.lock conn.cmutex;
+        conn.alive <- false;
+        Mutex.unlock conn.cmutex;
+        false
+  in
+  Mutex.unlock conn.wmutex;
+  if not sent then Tel.Counters.incr t.counters "write_failures";
+  sent
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+
+let policy_budget p =
+  Res.Budget.make ~fuel:p.max_fuel ~timeout_s:p.max_timeout_s
+    ~space_words:p.max_space_words ~output_bytes:p.max_output_bytes ()
+
+let measurement_fields (m : R.measurement) =
+  [
+    ("steps", Json.Int m.R.steps);
+    ("space_consumption", Json.Int m.R.space);
+    ("peak_space", Json.Int m.R.peak_space);
+    ("gc_runs", Json.Int m.R.gc_runs);
+    ( "linked_space_consumption",
+      match m.R.linked with Some u -> Json.Int u | None -> Json.Null );
+  ]
+
+let status_of_measurement (m : R.measurement) =
+  match m.R.status with
+  | R.Answer a ->
+      ( 0,
+        "done",
+        [ ("answer", Json.Str a); ("error", Json.Null); ("abort", Json.Null) ]
+      )
+  | R.Stuck msg ->
+      ( 1,
+        "stuck",
+        [
+          ("answer", Json.Null);
+          ("error", Json.Str msg);
+          ("abort", Json.Null);
+        ] )
+  | R.Aborted reason ->
+      ( 1,
+        "aborted",
+        [
+          ("answer", Json.Null);
+          ("error", Json.Str (Res.abort_reason_message reason));
+          ("abort", Res.abort_reason_to_json reason);
+        ] )
+
+let note_summary t (m : R.measurement) =
+  match m.R.summary with
+  | None -> ()
+  | Some s ->
+      Mutex.lock t.smutex;
+      t.merged <- Tel.merge_summaries [ t.merged; s ];
+      Mutex.unlock t.smutex
+
+let outcome_counter_key (m : R.measurement) =
+  match m.R.status with
+  | R.Answer _ -> "responses.done"
+  | R.Stuck _ -> "responses.stuck"
+  | R.Aborted reason -> "responses.aborted." ^ Res.abort_reason_name reason
+
+(* Parse errors are the client's fault (status 2), like the CLI's
+   exit-2 contract for unreadable sources. *)
+let parse_program source =
+  match Expand.program_of_string source with
+  | program -> Ok program
+  | exception Reader.Parse_error e ->
+      Error (Format.asprintf "parse error: %a" Reader.pp_error e)
+  | exception Expand.Expand_error e ->
+      Error (Format.asprintf "expand error: %a" Expand.pp_error e)
+
+let eval_work t job =
+  let policy = t.cfg.policy in
+  let budget = Res.Budget.clamp ~limit:(policy_budget policy) job.j_budget in
+  let opts = M.Run_opts.make ~budget () in
+  match job.j_work with
+  | Protocol.Evaluate { program; n } -> (
+      match parse_program program with
+      | Error m -> Protocol.error_response ~id:job.j_id m
+      | Ok program ->
+          let m =
+            R.run_once ~opts ~collect_telemetry:true ~config:job.j_config
+              ~program ~n ()
+          in
+          note_summary t m;
+          Tel.Counters.incr t.counters (outcome_counter_key m);
+          let status, outcome, fields = status_of_measurement m in
+          Protocol.response ~id:job.j_id ~status ~outcome
+            ~fields:
+              (("op", Json.Str "evaluate") :: (fields @ measurement_fields m))
+            ())
+  | Protocol.Census { program; n } -> (
+      match parse_program program with
+      | Error m -> Protocol.error_response ~id:job.j_id m
+      | Ok program ->
+          let census = Census.create () in
+          let opts = M.Run_opts.make ~budget ~provenance:census () in
+          let m =
+            R.run_once ~opts ~collect_telemetry:true ~config:job.j_config
+              ~program ~n ()
+          in
+          note_summary t m;
+          Tel.Counters.incr t.counters (outcome_counter_key m);
+          let status, outcome, fields = status_of_measurement m in
+          let census_json =
+            match Census.flat_census census ~peak:m.R.peak_space with
+            | Some c -> Prov.to_json c
+            | None -> Json.Null
+          in
+          Protocol.response ~id:job.j_id ~status ~outcome
+            ~fields:
+              (("op", Json.Str "census")
+              :: ("census", census_json)
+              :: (fields @ measurement_fields m))
+            ())
+  | Protocol.Sweep { program; ns } -> (
+      if List.length ns > policy.max_sweep_points then
+        Protocol.error_response ~id:job.j_id
+          (Printf.sprintf "sweep: at most %d points per request"
+             policy.max_sweep_points)
+      else
+        match parse_program program with
+        | Error m -> Protocol.error_response ~id:job.j_id m
+        | Ok program ->
+            (* serial within this worker: the pool is already ours, and
+               nesting a map would deadlock it *)
+            let points =
+              R.sweep ~opts ~collect_telemetry:true ~config:job.j_config
+                ~program ~ns ()
+            in
+            List.iter
+              (fun m ->
+                note_summary t m;
+                Tel.Counters.incr t.counters (outcome_counter_key m))
+              points;
+            let all_answered = R.all_answered points in
+            let point_json m =
+              let status, outcome, fields = status_of_measurement m in
+              Json.Obj
+                (("n", Json.Int m.R.n)
+                :: ("status", Json.Int status)
+                :: ("outcome", Json.Str outcome)
+                :: (fields @ measurement_fields m))
+            in
+            Protocol.response ~id:job.j_id
+              ~status:(if all_answered then 0 else 1)
+              ~outcome:(if all_answered then "done" else "degraded")
+              ~fields:
+                [
+                  ("op", Json.Str "sweep");
+                  ("points", Json.List (List.map point_json points));
+                ]
+              ())
+
+let run_job t job =
+  let response =
+    (* Crashed is the supervisor's catch-all: no exception from a
+       worker may take down the daemon or leak a connection without a
+       response. *)
+    try eval_work t job
+    with e ->
+      let reason = Res.Crashed (Printexc.to_string e) in
+      Tel.Counters.incr t.counters "responses.crashed";
+      Protocol.response ~id:job.j_id ~status:1 ~outcome:"aborted"
+        ~fields:
+          [
+            ("answer", Json.Null);
+            ("error", Json.Str (Res.abort_reason_message reason));
+            ("abort", Res.abort_reason_to_json reason);
+          ]
+        ()
+  in
+  ignore (send t job.j_conn response);
+  Mutex.lock job.j_conn.cmutex;
+  job.j_conn.inflight <- job.j_conn.inflight - 1;
+  Mutex.unlock job.j_conn.cmutex
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher: admission queue -> pool, without unbounded pool backlog *)
+
+let dispatcher t =
+  let max_outstanding = 2 * t.cfg.jobs in
+  let rec loop () =
+    match Admission.take t.queue with
+    | None ->
+        Mutex.lock t.smutex;
+        t.dispatcher_done <- true;
+        Mutex.unlock t.smutex
+    | Some job ->
+        Mutex.lock t.smutex;
+        while t.inflight_jobs >= max_outstanding do
+          Condition.wait t.slot_free t.smutex
+        done;
+        t.inflight_jobs <- t.inflight_jobs + 1;
+        Mutex.unlock t.smutex;
+        ignore
+          (Pool.submit t.pool (fun () ->
+               Fun.protect
+                 ~finally:(fun () ->
+                   Mutex.lock t.smutex;
+                   t.inflight_jobs <- t.inflight_jobs - 1;
+                   Condition.broadcast t.slot_free;
+                   Mutex.unlock t.smutex)
+                 (fun () -> run_job t job)));
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let stats_json t =
+  Mutex.lock t.smutex;
+  let merged = t.merged in
+  let inflight = t.inflight_jobs in
+  let open_conns =
+    List.length (List.filter (fun c -> not c.closed) t.conns)
+  in
+  Mutex.unlock t.smutex;
+  Json.Obj
+    [
+      ("uptime_s", Json.Float (t.cfg.now () -. t.started_at));
+      ("jobs", Json.Int (Pool.jobs t.pool));
+      ("queue_depth", Json.Int (Admission.depth t.queue));
+      ( "queue_tenants",
+        Json.Obj
+          (List.map
+             (fun (name, d) -> (name, Json.Int d))
+             (Admission.tenant_depths t.queue)) );
+      ("inflight", Json.Int inflight);
+      ("connections_open", Json.Int open_conns);
+      ("counters", Tel.Counters.to_json t.counters);
+      ("telemetry", Tel.summary_to_json merged);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection reader                                               *)
+
+let request_id_of json =
+  match Json.member "id" json with Some id -> id | None -> Json.Null
+
+let handle_request t conn json =
+  Tel.Counters.incr t.counters "requests";
+  match Protocol.request_of_json json with
+  | Error msg ->
+      Tel.Counters.incr t.counters "requests_bad";
+      ignore (send t conn (Protocol.error_response ~id:(request_id_of json) msg))
+  | Ok req -> (
+      let tenant = sanitize_tenant req.Protocol.tenant in
+      match (req.Protocol.probe, req.Protocol.work) with
+      | Some `Health, _ ->
+          ignore
+            (send t conn
+               (Protocol.response ~id:req.Protocol.id ~status:0 ~outcome:"ok"
+                  ~fields:
+                    [
+                      ("queue_depth", Json.Int (Admission.depth t.queue));
+                      ("stopping", Json.Bool (is_stopping t));
+                    ]
+                  ()))
+      | Some `Stats, _ ->
+          ignore
+            (send t conn
+               (Protocol.response ~id:req.Protocol.id ~status:0 ~outcome:"ok"
+                  ~fields:[ ("stats", stats_json t) ]
+                  ()))
+      | None, Some work ->
+          let job =
+            {
+              j_conn = conn;
+              j_id = req.Protocol.id;
+              j_tenant = tenant;
+              j_work = work;
+              j_config = req.Protocol.config;
+              j_budget = req.Protocol.budget;
+            }
+          in
+          if is_stopping t then begin
+            Tel.Counters.incr t.counters "rejected.shutting-down";
+            ignore
+              (send t conn
+                 (Protocol.rejected_response ~id:job.j_id
+                    ~reason:"shutting-down" ~retry_after_s:1.))
+          end
+          else begin
+            Mutex.lock conn.cmutex;
+            conn.inflight <- conn.inflight + 1;
+            Mutex.unlock conn.cmutex;
+            match Admission.offer t.queue ~now:(t.cfg.now ()) ~tenant job with
+            | Ok () ->
+                Tel.Counters.incr t.counters "admitted";
+                Tel.Counters.incr t.counters
+                  (Printf.sprintf "tenant.%s.admitted" tenant)
+            | Error rej ->
+                Mutex.lock conn.cmutex;
+                conn.inflight <- conn.inflight - 1;
+                Mutex.unlock conn.cmutex;
+                let reason = Admission.reject_reason rej in
+                Tel.Counters.incr t.counters ("rejected." ^ reason);
+                Tel.Counters.incr t.counters
+                  (Printf.sprintf "tenant.%s.rejected" tenant);
+                ignore
+                  (send t conn
+                     (Protocol.rejected_response ~id:job.j_id ~reason
+                        ~retry_after_s:(Admission.reject_retry_after_s rej)))
+          end
+      | None, None ->
+          (* request_of_json never produces this shape *)
+          Tel.Counters.incr t.counters "requests_bad";
+          ignore
+            (send t conn
+               (Protocol.error_response ~id:req.Protocol.id "malformed request")))
+
+(* Close the fd once every admitted request has answered (bounded
+   wait: a worker holding the last response can lag the reader's
+   exit). *)
+let finish_conn t conn =
+  let deadline = Unix.gettimeofday () +. t.cfg.drain_timeout_s in
+  let rec wait () =
+    Mutex.lock conn.cmutex;
+    let busy = conn.inflight > 0 in
+    Mutex.unlock conn.cmutex;
+    if busy && Unix.gettimeofday () < deadline then begin
+      Thread.delay 0.01;
+      wait ()
+    end
+  in
+  wait ();
+  Mutex.lock conn.cmutex;
+  conn.alive <- false;
+  let was_closed = conn.closed in
+  conn.closed <- true;
+  Mutex.unlock conn.cmutex;
+  if not was_closed then try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let conn_loop t conn =
+  let rec loop () =
+    match
+      Protocol.read_frame ~max_frame:t.cfg.max_frame
+        ~frame_timeout_s:t.cfg.frame_timeout_s
+        ~give_up:(fun () -> is_stopping t)
+        conn.fd
+    with
+    | Ok json ->
+        handle_request t conn json;
+        loop ()
+    | Error (Protocol.Closed | Protocol.Idle_closed) -> ()
+    | Error Protocol.Truncated ->
+        Tel.Counters.incr t.counters "protocol_errors"
+    | Error ((Protocol.Oversized _ | Protocol.Bad_json _ | Protocol.Timed_out) as e)
+      ->
+        (* typed protocol error, then drop the connection: the framing
+           can no longer be trusted *)
+        Tel.Counters.incr t.counters "protocol_errors";
+        ignore (send t conn (Protocol.protocol_error_response e))
+  in
+  (try loop () with _ -> Tel.Counters.incr t.counters "reader_crashes");
+  finish_conn t conn
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and lifecycle                                           *)
+
+let run t =
+  let dispatcher_thread = Thread.create dispatcher t in
+  (* accept until shutdown *)
+  let rec accept_loop () =
+    if is_stopping t then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+              let conn =
+                {
+                  fd;
+                  wmutex = Mutex.create ();
+                  cmutex = Mutex.create ();
+                  alive = true;
+                  closed = false;
+                  inflight = 0;
+                }
+              in
+              Tel.Counters.incr t.counters "connections";
+              Mutex.lock t.smutex;
+              t.conns <- conn :: t.conns;
+              Mutex.unlock t.smutex;
+              ignore (Thread.create (conn_loop t) conn)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* -------- drain -------- *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.ep with
+  | Protocol.Unix_domain path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Protocol.Tcp _ -> ());
+  (* stop admitting, let the dispatcher finish the backlog *)
+  Admission.close t.queue;
+  let deadline = t.cfg.now () +. t.cfg.drain_timeout_s in
+  let check_drained () =
+    Mutex.lock t.smutex;
+    let d = t.dispatcher_done && t.inflight_jobs = 0 in
+    Mutex.unlock t.smutex;
+    d
+  in
+  let rec wait_drain () =
+    if check_drained () then true
+    else if t.cfg.now () >= deadline then false
+    else begin
+      Thread.delay 0.02;
+      wait_drain ()
+    end
+  in
+  let drained = wait_drain () in
+  if drained then begin
+    Thread.join dispatcher_thread;
+    Pool.shutdown t.pool
+  end;
+  (* close whatever connections remain; their reader threads unblock
+     on the closed fd and exit *)
+  Mutex.lock t.smutex;
+  let conns = t.conns in
+  Mutex.unlock t.smutex;
+  List.iter
+    (fun conn ->
+      Mutex.lock conn.cmutex;
+      conn.alive <- false;
+      let was_closed = conn.closed in
+      conn.closed <- true;
+      Mutex.unlock conn.cmutex;
+      if not was_closed then
+        try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    conns;
+  if drained then Drained else Forced

@@ -1,0 +1,81 @@
+(** The `schemesim serve` daemon: a fault-tolerant evaluation service
+    over the length-prefixed JSON protocol.
+
+    Architecture: one accept loop (the caller's thread, in {!run}), one
+    reader thread per connection, one dispatcher thread draining the
+    {!Admission} queue onto a {!Tailspace_parallel.Pool} of worker
+    domains via non-blocking {!Tailspace_parallel.Pool.submit}. Every
+    request runs under a {!Tailspace_resilience.Resilience.Budget}
+    clamped by the server {!policy}, so the paper's own poison programs
+    (Theorem 25 blow-ups, [I_stack] stuck states, fuel burners) come
+    back as typed status-1 responses; an escaped exception on a worker
+    becomes a [Crashed] abort response and never touches the daemon or
+    its sibling requests.
+
+    Lifecycle: {!shutdown} (or SIGTERM wired to it by the CLI) stops
+    accepting, drains queued and in-flight requests up to
+    [drain_timeout_s], then force-aborts whatever is left. *)
+
+module Json := Tailspace_telemetry.Telemetry.Json
+
+(** Server-side ceilings on what any single request may consume. The
+    client's own budget is honored below these, never above
+    ({!Tailspace_resilience.Resilience.Budget.clamp}). *)
+type policy = {
+  max_fuel : int;  (** default 5M steps *)
+  max_timeout_s : float;  (** default 10s of wall clock per request *)
+  max_space_words : int;  (** default 50M words of live space *)
+  max_output_bytes : int;  (** default 1 MiB of program output *)
+  max_sweep_points : int;  (** default 32 inputs per sweep request *)
+}
+
+val default_policy : policy
+
+type config = {
+  jobs : int;  (** worker domains (default [Pool.default_jobs ()]) *)
+  queue_capacity : int;  (** admission queue bound (default 256) *)
+  tenant_rate : float;  (** token-bucket refill, requests/s (default 50) *)
+  tenant_burst : float;  (** token-bucket burst (default 100) *)
+  max_frame : int;  (** request frame cap (default 1 MiB) *)
+  frame_timeout_s : float;  (** slow-loris guard (default 10s) *)
+  drain_timeout_s : float;  (** graceful-shutdown deadline (default 30s) *)
+  policy : policy;
+  now : unit -> float;
+      (** the admission/drain clock (default
+          {!Tailspace_resilience.Resilience.Clock.now}, hence
+          fake-clock-testable) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Protocol.endpoint -> t
+(** Bind and listen (raises [Unix.Unix_error] on failure — the CLI
+    turns that into exit 2). Ignores [SIGPIPE] process-wide: a client
+    hanging up mid-response must be a counted write failure, not a
+    fatal signal. *)
+
+val port : t -> int option
+(** The bound TCP port (useful with port 0); [None] for Unix sockets. *)
+
+val endpoint : t -> Protocol.endpoint
+
+type outcome =
+  | Drained  (** every admitted request finished within the deadline *)
+  | Forced  (** the drain deadline passed with work still running *)
+
+val run : t -> outcome
+(** Serve until {!shutdown}, then drain and return. Runs the accept
+    loop on the calling thread. *)
+
+val shutdown : t -> unit
+(** Begin graceful shutdown. Async-signal-safe (sets a flag the loops
+    poll); idempotent. *)
+
+val is_stopping : t -> bool
+
+val stats_json : t -> Json.t
+(** The health/stats surface: uptime, queue depth, in-flight count,
+    open connections, the full counter group (global and per-tenant),
+    and the merged telemetry summary of every measured run so far. *)

@@ -708,3 +708,46 @@ let summary_of_json json =
       peak_linked;
       stuck;
     }
+
+(* ------------------------------------------------------------------ *)
+(* Named counter groups                                                *)
+
+module Counters = struct
+  (* One mutex per group: the writers are the server's connection and
+     worker threads, each touching a handful of counters per request,
+     so contention is negligible next to an evaluation. *)
+  type t = { mutex : Mutex.t; cells : (string, int ref) Hashtbl.t }
+
+  let create () = { mutex = Mutex.create (); cells = Hashtbl.create 32 }
+
+  let locked t k =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) k
+
+  let cell t name =
+    match Hashtbl.find_opt t.cells name with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.cells name r;
+        r
+
+  let incr ?(by = 1) t name =
+    locked t (fun () ->
+        let r = cell t name in
+        r := !r + by)
+
+  let set t name v = locked t (fun () -> cell t name := v)
+
+  let get t name =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.cells name with Some r -> !r | None -> 0)
+
+  let snapshot t =
+    locked t (fun () ->
+        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.cells []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+  let to_json t =
+    Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) (snapshot t))
+end

@@ -59,6 +59,55 @@ let test_pool_shutdown () =
          Alcotest.(check bool) "no pool spawned" true (pool = None);
          Pool.map ?pool (fun x -> 2 * x) [ 1; 2 ]))
 
+(* After a batch fails, the remaining queued thunks must be discarded
+   without running — a poison request must not make the pool grind
+   through (or re-crash on) everything queued behind it — and the
+   workers must come back reusable. With one worker the schedule is
+   deterministic: item 0 fails, so items 1..99 are discarded. *)
+let test_pool_poisoned_batch_discards () =
+  with_test_pool ~jobs:1 @@ fun pool ->
+  let ran = Atomic.make 0 in
+  (match
+     Pool.map ~pool
+       (fun x ->
+         if x = 0 then failwith "poison"
+         else begin
+           Atomic.incr ran;
+           x
+         end)
+       (List.init 100 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected the map to raise"
+  | exception Failure msg ->
+      Alcotest.(check string) "the poison item's failure" "poison" msg);
+  Alcotest.(check int) "discarded thunks never ran" 0 (Atomic.get ran);
+  Alcotest.(check (list int))
+    "workers reusable after a poisoned batch" [ 2; 4; 6 ]
+    (Pool.map ~pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_pool_submit_await () =
+  with_test_pool ~jobs:2 @@ fun pool ->
+  let handles =
+    List.init 10 (fun i -> Pool.submit pool (fun () -> i * i))
+  in
+  Alcotest.(check (list int))
+    "await returns each result"
+    (List.init 10 (fun i -> i * i))
+    (List.map Pool.await handles);
+  let failing = Pool.submit pool (fun () -> failwith "boom") in
+  (match Pool.await failing with
+  | _ -> Alcotest.fail "await must re-raise the task's exception"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+  (* one task failing poisons nothing else *)
+  Alcotest.(check int) "pool still serves" 7 (Pool.await (Pool.submit pool (fun () -> 7)))
+
+let test_pool_submit_after_shutdown () =
+  let pool = Pool.create ~jobs:1 () in
+  Pool.shutdown pool;
+  match Pool.submit pool (fun () -> 1) with
+  | _ -> Alcotest.fail "submit on a shut-down pool must raise"
+  | exception Invalid_argument _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* the cache *)
 
@@ -313,6 +362,11 @@ let () =
           Alcotest.test_case "earliest exception wins" `Quick
             test_pool_earliest_exception;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "poisoned batch discards" `Quick
+            test_pool_poisoned_batch_discards;
+          Alcotest.test_case "submit/await" `Quick test_pool_submit_await;
+          Alcotest.test_case "submit after shutdown" `Quick
+            test_pool_submit_after_shutdown;
         ] );
       ( "cache",
         [
