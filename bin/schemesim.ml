@@ -16,6 +16,8 @@
                  quotas, graceful SIGTERM drain
      loadgen     seeded closed-loop load generator (with poison mix)
                  against a running serve daemon
+     bignumbench Karatsuba/schoolbook crossover, decimal-conversion and
+                 fixnum fast-path timings (BENCH_bignum.json)
 
    exit codes (uniform across subcommands, documented in README):
      0  the program ran to completion (Done)
@@ -44,6 +46,7 @@ module Vm = Tailspace_vm.Vm
 module Ast = Tailspace_ast.Ast
 module Census = Tailspace_core.Census
 module Prov = Tailspace_provenance.Provenance
+module Bignum = Tailspace_bignum.Bignum
 
 let read_file path =
   let ic = open_in_bin path in
@@ -1195,6 +1198,268 @@ let vmbench_cmd =
       $ families_arg $ fuel_arg)
 
 (* ------------------------------------------------------------------ *)
+(* bignumbench                                                         *)
+
+(* Crossover-threshold benchmark for the bignum layer, in the spirit of
+   GMP's gmp-mparam.h tuning tables: time schoolbook multiplication
+   against the Karatsuba path across a ladder of limb sizes to locate
+   where the O(n^1.585) split starts paying, plus divide-and-conquer vs
+   classic decimal conversion, a fixnum-tag on/off A/B on a small-int
+   loop, and a power workload (repeated balanced squarings — the shape
+   Karatsuba likes best). Emits the committed BENCH_bignum.json with a
+   top-level [wall_s] and a [points] table so the existing
+   `bench --compare` noise bands gate it in CI. *)
+let bignumbench_cmd =
+  let default_sizes = [ 8; 12; 16; 24; 32; 48; 64; 96; 128; 192; 256; 384; 512 ] in
+  let out_arg =
+    let doc = "Write the crossover results as JSON to $(docv)." in
+    Arg.(
+      value & opt string "BENCH_bignum.json" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let reps_arg =
+    let doc = "Timing repetitions per point; best-of wins." in
+    Arg.(value & opt int 3 & info [ "reps" ] ~docv:"K" ~doc)
+  in
+  let check_crossover_arg =
+    let doc =
+      "Fail (exit 1) unless Karatsuba beats schoolbook at every measured \
+       size at least twice the shipped threshold (and the differential \
+       products agree)."
+    in
+    Arg.(value & flag & info [ "check-crossover" ] ~doc)
+  in
+  let sizes_arg =
+    let doc = "Limb sizes to measure (default: the shipped ladder)." in
+    Arg.(
+      value & opt (list int) default_sizes & info [ "sizes" ] ~docv:"N,.." ~doc)
+  in
+  let bignumbench out reps check_crossover sizes =
+    let started = Res.Clock.now () in
+    let time_best iters f =
+      let rec go best k =
+        if k = 0 then best
+        else begin
+          let t0 = Res.Clock.now () in
+          for _ = 1 to iters do
+            ignore (Sys.opaque_identity (f ()))
+          done;
+          let dt = (Res.Clock.now () -. t0) /. float_of_int iters in
+          go (match best with Some b when b <= dt -> best | _ -> Some dt) (k - 1)
+        end
+      in
+      match go None (max 1 reps) with Some dt -> dt | None -> assert false
+    in
+    let shipped_threshold = !Bignum.Internal.karatsuba_threshold in
+    let with_threshold t f =
+      let saved = !Bignum.Internal.karatsuba_threshold in
+      Bignum.Internal.karatsuba_threshold := t;
+      Fun.protect
+        ~finally:(fun () -> Bignum.Internal.karatsuba_threshold := saved)
+        f
+    in
+    (* dense n-limb operands: 2^(30n) - 1 and a shifted variant *)
+    let dense n = Bignum.pred (Bignum.shift_left Bignum.one (30 * n)) in
+    let agree = ref true in
+    let points =
+      List.map
+        (fun n ->
+          let a = dense n and b = Bignum.pred (dense n) in
+          let iters = max 1 (200_000 / (n * n)) in
+          let school_s =
+            time_best iters (fun () -> Bignum.Internal.mul_schoolbook a b)
+          in
+          (* Karatsuba forced at this size: splitting at n/2 makes the
+             top level divide while the halves fall back to schoolbook —
+             the marginal cost of one split, which is what locates the
+             crossover. *)
+          let kara_s =
+            with_threshold
+              (max 2 (n / 2))
+              (fun () -> time_best iters (fun () -> Bignum.mul a b))
+          in
+          let shipped_s = time_best iters (fun () -> Bignum.mul a b) in
+          if
+            not
+              (Bignum.equal (Bignum.Internal.mul_schoolbook a b)
+                 (with_threshold (max 2 (n / 2)) (fun () -> Bignum.mul a b)))
+          then agree := false;
+          (n, school_s, kara_s, shipped_s, school_s /. Float.max kara_s 1e-12))
+        sizes
+    in
+    let crossover =
+      List.fold_left
+        (fun acc (n, _, _, _, sp) ->
+          match acc with Some _ -> acc | None -> if sp > 1.0 then Some n else None)
+        None points
+    in
+    (* decimal conversion: a ~1200-limb dense operand (~10.8k digits) *)
+    let conv_limbs = 1200 in
+    let big = dense conv_limbs in
+    let digits = Bignum.to_string big in
+    if not (String.equal digits (Bignum.Internal.to_string_classic big)) then
+      agree := false;
+    if not (Bignum.equal (Bignum.of_string digits) (Bignum.Internal.of_string_classic digits))
+    then agree := false;
+    let to_classic_s =
+      time_best 1 (fun () -> Bignum.Internal.to_string_classic big)
+    in
+    let to_dc_s = time_best 1 (fun () -> Bignum.to_string big) in
+    let of_classic_s =
+      time_best 1 (fun () -> Bignum.Internal.of_string_classic digits)
+    in
+    let of_dc_s = time_best 1 (fun () -> Bignum.of_string digits) in
+    (* power workload: balanced squarings of a growing operand *)
+    let pow_base = Bignum.of_string "1234567890123456789" in
+    let pow_exp = 600 in
+    let pow_school_s =
+      with_threshold max_int (fun () ->
+          time_best 1 (fun () -> Bignum.pow pow_base pow_exp))
+    in
+    let pow_kara_s = time_best 1 (fun () -> Bignum.pow pow_base pow_exp) in
+    if
+      not
+        (Bignum.equal (Bignum.pow pow_base pow_exp)
+           (with_threshold max_int (fun () -> Bignum.pow pow_base pow_exp)))
+    then agree := false;
+    (* fixnum A/B: a small-int accumulation loop entirely in tag range *)
+    let fix_n = 200_000 in
+    let sum_loop () =
+      let rec go i acc =
+        if i = 0 then acc else go (i - 1) (Bignum.add acc (Bignum.of_int i))
+      in
+      go fix_n Bignum.zero
+    in
+    let with_fixnums enabled f =
+      let saved = Bignum.fixnums_enabled () in
+      Bignum.set_fixnums enabled;
+      Fun.protect ~finally:(fun () -> Bignum.set_fixnums saved) f
+    in
+    let fix_on_s = with_fixnums true (fun () -> time_best 1 sum_loop) in
+    let fix_off_s = with_fixnums false (fun () -> time_best 1 sum_loop) in
+    if
+      not
+        (Bignum.equal
+           (with_fixnums true sum_loop)
+           (with_fixnums false sum_loop))
+    then agree := false;
+    let wall_s = Res.Clock.now () -. started in
+    let json =
+      Json.Obj
+        [
+          ("tool", Json.Str "schemesim bignumbench");
+          ("reps", Json.Int reps);
+          ("wall_s", Json.Float wall_s);
+          ("karatsuba_threshold", Json.Int shipped_threshold);
+          ( "crossover_limbs",
+            match crossover with Some n -> Json.Int n | None -> Json.Null );
+          ("answers_agree", Json.Bool !agree);
+          ( "points",
+            Json.List
+              (List.map
+                 (fun (n, ss, ks, hs, sp) ->
+                   Json.Obj
+                     [
+                       ("n", Json.Int n);
+                       ("status", Json.Str "done");
+                       ("school_mul_s", Json.Float ss);
+                       ("karatsuba_mul_s", Json.Float ks);
+                       ("shipped_mul_s", Json.Float hs);
+                       ("speedup", Json.Float sp);
+                     ])
+                 points) );
+          ( "conversion",
+            Json.Obj
+              [
+                ("limbs", Json.Int conv_limbs);
+                ("digits", Json.Int (String.length digits));
+                ("to_string_classic_s", Json.Float to_classic_s);
+                ("to_string_dc_s", Json.Float to_dc_s);
+                ( "to_string_speedup",
+                  Json.Float (to_classic_s /. Float.max to_dc_s 1e-12) );
+                ("of_string_classic_s", Json.Float of_classic_s);
+                ("of_string_dc_s", Json.Float of_dc_s);
+                ( "of_string_speedup",
+                  Json.Float (of_classic_s /. Float.max of_dc_s 1e-12) );
+              ] );
+          ( "pow",
+            Json.Obj
+              [
+                ("base_digits", Json.Int 19);
+                ("exponent", Json.Int pow_exp);
+                ("school_s", Json.Float pow_school_s);
+                ("karatsuba_s", Json.Float pow_kara_s);
+                ( "speedup",
+                  Json.Float (pow_school_s /. Float.max pow_kara_s 1e-12) );
+              ] );
+          ( "fixnum",
+            Json.Obj
+              [
+                ("adds", Json.Int fix_n);
+                ("fixnums_on_s", Json.Float fix_on_s);
+                ("fixnums_off_s", Json.Float fix_off_s);
+                ( "speedup",
+                  Json.Float (fix_off_s /. Float.max fix_on_s 1e-12) );
+              ] );
+        ]
+    in
+    write_file out (Json.to_string json);
+    Format.printf "%-8s %14s %14s %14s %9s@." "limbs" "schoolbook" "karatsuba"
+      "shipped" "speedup";
+    List.iter
+      (fun (n, ss, ks, hs, sp) ->
+        Format.printf "%-8d %12.2f us %12.2f us %12.2f us %8.2fx@." n
+          (ss *. 1e6) (ks *. 1e6) (hs *. 1e6) sp)
+      points;
+    (match crossover with
+    | Some n -> Format.printf "crossover at ~%d limbs (shipped threshold %d)@." n shipped_threshold
+    | None -> Format.printf "no crossover located in the measured sizes@.");
+    Format.printf
+      "to_string %4.1fx, of_string %4.1fx, pow %4.1fx, fixnums %4.1fx; \
+       results -> %s@."
+      (to_classic_s /. Float.max to_dc_s 1e-12)
+      (of_classic_s /. Float.max of_dc_s 1e-12)
+      (pow_school_s /. Float.max pow_kara_s 1e-12)
+      (fix_off_s /. Float.max fix_on_s 1e-12)
+      out;
+    if not !agree then begin
+      Format.printf "bignumbench: FAILED (differential paths disagree)@.";
+      exit 1
+    end;
+    if check_crossover then begin
+      let above =
+        List.filter (fun (n, _, _, _, _) -> n >= 2 * shipped_threshold) points
+      in
+      (* gate on the shipped hybrid — the path users actually hit — not
+         the forced single split used to locate the crossover *)
+      let losing =
+        List.filter (fun (_, ss, _, hs, _) -> ss /. hs <= 1.0) above
+      in
+      let pow_sp = pow_school_s /. Float.max pow_kara_s 1e-12 in
+      if above <> [] && losing = [] && pow_sp > 1.0 then
+        Format.printf "bignumbench: OK (karatsuba wins at all %d sizes >= %d \
+                       limbs; pow %4.1fx)@."
+          (List.length above) (2 * shipped_threshold) pow_sp
+      else begin
+        Format.printf
+          "bignumbench: FAILED (%d/%d sizes above %d limbs lose to \
+           schoolbook; pow %4.1fx)@."
+          (List.length losing) (List.length above)
+          (2 * shipped_threshold) pow_sp;
+        exit 1
+      end
+    end
+  in
+  let doc =
+    "Locate the Karatsuba/schoolbook crossover (gmp-mparam style), time \
+     divide-and-conquer vs classic decimal conversion, the fixnum fast \
+     path, and a power workload; write BENCH_bignum.json and optionally \
+     gate on Karatsuba beating schoolbook above the shipped threshold."
+  in
+  Cmd.v (Cmd.info "bignumbench" ~doc)
+    Term.(
+      const bignumbench $ out_arg $ reps_arg $ check_crossover_arg $ sizes_arg)
+
+(* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
 
 let analyze_cmd =
@@ -1918,6 +2183,7 @@ let () =
             profile_cmd;
             bench_cmd;
             vmbench_cmd;
+            bignumbench_cmd;
             analyze_cmd;
             corpus_cmd;
             report_cmd;

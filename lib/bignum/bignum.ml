@@ -1,15 +1,61 @@
-(* Sign-magnitude bignums over base-2^30 limbs, little-endian.
-   Invariants: [mag] has no trailing (most-significant) zero limbs, and
-   [sign = 0] iff [mag] is empty. Every constructor goes through [make],
-   so structural equality coincides with numeric equality. *)
+(* Sign-magnitude bignums over base-2^30 limbs, little-endian, behind a
+   tagged fixnum fast path.
+
+   Representation: [Fix n] carries a native int while the magnitude fits
+   in [fix_bits] bits; [Big] carries sign-magnitude limbs. Invariants:
+   [Big.mag] has no trailing (most-significant) zero limbs, is never
+   empty (zero is always [Fix 0]), and [Big.sign] is [-1] or [1]. When
+   fixnums are enabled (the default), every constructor canonicalizes
+   through [make], so a [Big] never holds a fixnum-range magnitude and
+   structural equality coincides with numeric equality.
+
+   The fixnum toggle ([set_fixnums false]) exists so the differential
+   oracle can force the all-limbs regime: every observer below (compare,
+   to_string, bit_length, hash, arithmetic) is representation-agnostic,
+   so a [Fix] and a [Big] holding the same number are indistinguishable
+   to callers — which is exactly the paper's point that the space
+   *charge* (1 + log2 z, via [bit_length]) is a function of the
+   magnitude, never of the representation.
+
+   Sub-quadratic algorithms: Karatsuba multiplication above a tuned limb
+   threshold, Knuth Algorithm D (limb-at-a-time quotient estimation) for
+   division, and divide-and-conquer decimal conversion splitting at a
+   shared tree of 10^(9*2^k) powers. The schoolbook paths survive under
+   [Internal] for differential tests and crossover benchmarks. *)
 
 let limb_bits = 30
 let base = 1 lsl limb_bits
 let limb_mask = base - 1
 
-type t = { sign : int; mag : int array }
+(* Fixnum range: |n| <= fix_max = 2^61 - 1. One bit of headroom below
+   the 63-bit native int means the sum of any two fixnums is exact in
+   native arithmetic — overflow detection is a range test on the result,
+   never a pre-check. *)
+let fix_bits = 61
+let fix_max = (1 lsl fix_bits) - 1
 
-let zero = { sign = 0; mag = [||] }
+type t = Fix of int | Big of { sign : int; mag : int array }
+
+let fixnums = ref true
+let set_fixnums b = fixnums := b
+let fixnums_enabled () = !fixnums
+let is_fixnum = function Fix _ -> true | Big _ -> false
+
+let zero = Fix 0
+
+(* Bit length of a non-negative native int, by binary descent. *)
+let num_bits_int n =
+  let n = ref n and b = ref 0 in
+  if !n lsr 32 <> 0 then begin b := !b + 32; n := !n lsr 32 end;
+  if !n lsr 16 <> 0 then begin b := !b + 16; n := !n lsr 16 end;
+  if !n lsr 8 <> 0 then begin b := !b + 8; n := !n lsr 8 end;
+  if !n lsr 4 <> 0 then begin b := !b + 4; n := !n lsr 4 end;
+  if !n lsr 2 <> 0 then begin b := !b + 2; n := !n lsr 2 end;
+  if !n lsr 1 <> 0 then begin b := !b + 1; n := !n lsr 1 end;
+  !b + !n
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (unsigned little-endian limb array) primitives            *)
 
 let normalize_mag mag =
   let n = Array.length mag in
@@ -17,47 +63,16 @@ let normalize_mag mag =
   let hi = top (n - 1) in
   if hi < 0 then [||] else if hi = n - 1 then mag else Array.sub mag 0 (hi + 1)
 
-let make sign mag =
-  let mag = normalize_mag mag in
-  if Array.length mag = 0 then zero else { sign; mag }
-
-let of_int n =
-  if n = 0 then zero
-  else
-    let sign = if n < 0 then -1 else 1 in
-    (* min_int has no positive native counterpart; peel limbs with
-       negative arithmetic to stay in range. *)
-    let rec limbs acc n =
-      if n = 0 then acc
-      else limbs ((-(n mod base)) :: acc) (n / base)
-    in
-    let l = if n < 0 then limbs [] n else limbs [] (-n) in
-    make sign (Array.of_list (List.rev l))
-
-let one = of_int 1
-let minus_one = of_int (-1)
-let sign t = t.sign
-let is_zero t = t.sign = 0
-
 let cmp_mag a b =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then compare la lb
+  if la <> lb then Stdlib.compare la lb
   else
     let rec go i =
       if i < 0 then 0
-      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
       else go (i - 1)
     in
     go (la - 1)
-
-let compare a b =
-  if a.sign <> b.sign then compare a.sign b.sign
-  else if a.sign >= 0 then cmp_mag a.mag b.mag
-  else cmp_mag b.mag a.mag
-
-let equal a b = compare a b = 0
-let min a b = if compare a b <= 0 then a else b
-let max a b = if compare a b >= 0 then a else b
 
 (* |a| + |b| *)
 let add_mag a b =
@@ -93,52 +108,11 @@ let sub_mag a b =
   assert (!borrow = 0);
   r
 
-let add a b =
-  if a.sign = 0 then b
-  else if b.sign = 0 then a
-  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
-  else
-    let c = cmp_mag a.mag b.mag in
-    if c = 0 then zero
-    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
-    else make b.sign (sub_mag b.mag a.mag)
-
-let neg a = if a.sign = 0 then a else { a with sign = -a.sign }
-let abs a = if a.sign < 0 then neg a else a
-let sub a b = add a (neg b)
-let succ a = add a one
-let pred a = sub a one
-
-(* Schoolbook multiplication. Limbs are < 2^30 so a limb product plus
-   carries stays below 2^62, within native-int range. *)
-let mul_mag a b =
-  let la = Array.length a and lb = Array.length b in
-  let r = Array.make (la + lb) 0 in
-  for i = 0 to la - 1 do
-    let carry = ref 0 in
-    let ai = a.(i) in
-    for j = 0 to lb - 1 do
-      let acc = r.(i + j) + (ai * b.(j)) + !carry in
-      r.(i + j) <- acc land limb_mask;
-      carry := acc lsr limb_bits
-    done;
-    r.(i + lb) <- r.(i + lb) + !carry
-  done;
-  r
-
-let mul a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+let sub_mag_norm a b = normalize_mag (sub_mag a b)
 
 let bit_length_mag mag =
   let n = Array.length mag in
-  if n = 0 then 0
-  else
-    let top = mag.(n - 1) in
-    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
-    ((n - 1) * limb_bits) + bits 0 top
-
-let bit_length t = bit_length_mag t.mag
+  if n = 0 then 0 else ((n - 1) * limb_bits) + num_bits_int mag.(n - 1)
 
 let shift_left_mag mag k =
   if Array.length mag = 0 then mag
@@ -171,62 +145,92 @@ let shift_right_mag mag k =
     r
   end
 
-let shift_left a k =
-  if k < 0 then invalid_arg "Bignum.shift_left"
-  else if a.sign = 0 || k = 0 then a
-  else make a.sign (shift_left_mag a.mag k)
+(* ------------------------------------------------------------------ *)
+(* Multiplication: schoolbook below the threshold, Karatsuba above.    *)
 
-let shift_right a k =
-  if k < 0 then invalid_arg "Bignum.shift_right"
-  else if a.sign = 0 || k = 0 then a
-  else make a.sign (shift_right_mag a.mag k)
-
-(* Magnitude division by shift-and-subtract, one bit at a time from the
-   top. O(bits(a) * limbs(a)) — plenty fast for the machine's workloads,
-   whose numbers stay small. *)
-let divmod_mag a b =
-  let c = cmp_mag a b in
-  if c < 0 then ([||], a)
+(* Schoolbook. Limbs are < 2^30 so a limb product plus carries stays
+   below 2^62, within native-int range. *)
+let mul_mag_school a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
   else begin
-    let shift = bit_length_mag a - bit_length_mag b in
-    let q = Array.make ((shift / limb_bits) + 1) 0 in
-    let rem = ref a in
-    for k = shift downto 0 do
-      let d = normalize_mag (shift_left_mag b k) in
-      if cmp_mag !rem d >= 0 then begin
-        rem := normalize_mag (sub_mag !rem d);
-        q.(k / limb_bits) <- q.(k / limb_bits) lor (1 lsl (k mod limb_bits))
-      end
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let acc = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- acc land limb_mask;
+        carry := acc lsr limb_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
     done;
-    (q, !rem)
+    normalize_mag r
   end
 
-let divmod a b =
-  if b.sign = 0 then raise Division_by_zero
-  else if a.sign = 0 then (zero, zero)
-  else
-    let qm, rm = divmod_mag a.mag b.mag in
-    (make (a.sign * b.sign) qm, make a.sign rm)
+(* Crossover limb count below which schoolbook wins; the default is
+   tuned by `schemesim bignumbench` (committed in BENCH_bignum.json,
+   which locates the single-split crossover near 96 limbs on the CI
+   hardware), mirroring the per-machine MUL_TOOM_THRESHOLD tables of
+   GMP's gmp-mparam.h. *)
+let karatsuba_threshold = ref 80
 
-let quotient a b = fst (divmod a b)
-let remainder a b = snd (divmod a b)
+(* r[off..] += src, with carry propagation. The caller guarantees the
+   running value fits in r (true for Karatsuba's recombination, whose
+   partial sums are bounded by the final product). *)
+let add_into r src off =
+  let n = Array.length src in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = r.(off + i) + src.(i) + !carry in
+    r.(off + i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  let i = ref (off + n) in
+  while !carry <> 0 do
+    let s = r.(!i) + !carry in
+    r.(!i) <- s land limb_mask;
+    carry := s lsr limb_bits;
+    incr i
+  done
 
-let modulo a b =
-  let r = remainder a b in
-  if r.sign = 0 || r.sign = b.sign then r else add r b
+(* a1*B^k + a0, both normalized. *)
+let split_mag x k =
+  let lx = Array.length x in
+  if lx <= k then (normalize_mag x, [||])
+  else (normalize_mag (Array.sub x 0 k), Array.sub x k (lx - k))
 
-let pow base_v n =
-  if n < 0 then invalid_arg "Bignum.pow"
-  else
-    let rec go acc b n =
-      if n = 0 then acc
-      else
-        let acc = if n land 1 = 1 then mul acc b else acc in
-        go acc (mul b b) (n lsr 1)
+let rec mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else if (if la < lb then la else lb) < !karatsuba_threshold then
+    mul_mag_school a b
+  else begin
+    (* Karatsuba: a = a1*B^k + a0, b = b1*B^k + b0;
+       a*b = z2*B^2k + (z1 - z0 - z2)*B^k + z0
+       with z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)(b0+b1). *)
+    let k = ((if la > lb then la else lb) + 1) / 2 in
+    let a0, a1 = split_mag a k and b0, b1 = split_mag b k in
+    let z0 = mul_mag a0 b0 in
+    let z2 = mul_mag a1 b1 in
+    let z1 =
+      mul_mag (normalize_mag (add_mag a0 a1)) (normalize_mag (add_mag b0 b1))
     in
-    go one base_v n
+    (* mid = z1 - z0 - z2 >= 0, computed standalone so every add below
+       is a partial sum of the true product and cannot carry past the
+       la+lb limbs of the result. *)
+    let mid = sub_mag_norm (sub_mag_norm z1 z0) z2 in
+    let r = Array.make (la + lb) 0 in
+    add_into r z0 0;
+    if Array.length z2 > 0 then add_into r z2 (2 * k);
+    add_into r mid k;
+    normalize_mag r
+  end
 
-(* Fast paths on small ints, used by decimal conversion. *)
+(* ------------------------------------------------------------------ *)
+(* Small-operand helpers (single-limb multiplier/divisor), used by the
+   decimal-conversion base cases.                                      *)
+
 let mul_small_mag mag m =
   let n = Array.length mag in
   let r = Array.make (n + 2) 0 in
@@ -259,8 +263,8 @@ let add_small_mag mag m =
   r
 
 (* Divide magnitude by a small positive int; returns quotient mag and the
-   int remainder. Limbs < 2^30 and divisors <= 10^9 < 2^30 keep the
-   intermediate [acc] below 2^60. *)
+   int remainder. Limbs < 2^30 and divisors < 2^30 keep the intermediate
+   [acc] below 2^60. *)
 let divmod_small_mag mag m =
   let n = Array.length mag in
   let q = Array.make n 0 in
@@ -272,64 +276,461 @@ let divmod_small_mag mag m =
   done;
   (q, !rem)
 
+(* ------------------------------------------------------------------ *)
+(* Division                                                            *)
+
+(* Shift-and-subtract, one bit at a time from the top: the seed
+   implementation, kept as the differential reference for Algorithm D.
+   O(bits(a) * limbs(a)). *)
+let divmod_mag_school a b =
+  let c = cmp_mag a b in
+  if c < 0 then ([||], a)
+  else begin
+    let shift = bit_length_mag a - bit_length_mag b in
+    let q = Array.make ((shift / limb_bits) + 1) 0 in
+    let rem = ref a in
+    for k = shift downto 0 do
+      let d = normalize_mag (shift_left_mag b k) in
+      if cmp_mag !rem d >= 0 then begin
+        rem := normalize_mag (sub_mag !rem d);
+        q.(k / limb_bits) <- q.(k / limb_bits) lor (1 lsl (k mod limb_bits))
+      end
+    done;
+    (normalize_mag q, !rem)
+  end
+
+(* Knuth Algorithm D (TAOCP vol. 2, 4.3.1), limb-at-a-time: normalize so
+   the divisor's top limb has its high bit set, estimate each quotient
+   limb from the top two dividend limbs, correct the estimate with the
+   second divisor limb (at most two decrements), multiply-subtract, and
+   add back in the rare over-estimate case. Requires length b >= 2 and
+   |a| >= |b|; all intermediates stay below 2^60 in 63-bit ints. *)
+let divmod_mag_knuth a b =
+  let n = Array.length b in
+  let la = Array.length a in
+  let shift = limb_bits - num_bits_int b.(n - 1) in
+  let v = normalize_mag (shift_left_mag b shift) in
+  let u = shift_left_mag a shift in
+  (* u has la+1 limbs (the top one possibly zero — Algorithm D wants the
+     extra limb); v still has n limbs, top limb >= base/2. *)
+  let m = la - n in
+  let q = Array.make (m + 1) 0 in
+  let vtop = v.(n - 1) and vsec = v.(n - 2) in
+  for j = m downto 0 do
+    let num = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+    let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+    let adjusting = ref true in
+    while !adjusting do
+      if
+        !qhat >= base
+        || !qhat * vsec > (!rhat lsl limb_bits) lor u.(j + n - 2)
+      then begin
+        decr qhat;
+        rhat := !rhat + vtop;
+        if !rhat >= base then adjusting := false
+      end
+      else adjusting := false
+    done;
+    (* multiply-subtract qhat*v from u[j .. j+n] *)
+    let borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let p = !qhat * v.(i) in
+      let t = u.(i + j) - !borrow - (p land limb_mask) in
+      u.(i + j) <- t land limb_mask;
+      borrow := (p lsr limb_bits) - (t asr limb_bits)
+    done;
+    let t = u.(j + n) - !borrow in
+    u.(j + n) <- t land limb_mask;
+    if t < 0 then begin
+      (* qhat was one too large: add v back; the final carry cancels the
+         borrow that went negative above. *)
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let s = u.(i + j) + v.(i) + !carry in
+        u.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !carry) land limb_mask
+    end;
+    q.(j) <- !qhat
+  done;
+  let rem = shift_right_mag (normalize_mag (Array.sub u 0 n)) shift in
+  (normalize_mag q, normalize_mag rem)
+
+let divmod_mag a b =
+  if cmp_mag a b < 0 then ([||], a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_small_mag a b.(0) in
+    (normalize_mag q, if r = 0 then [||] else [| r |])
+  end
+  else divmod_mag_knuth a b
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization and conversions to/from native ints                *)
+
+let fits_fix_mag mag =
+  match Array.length mag with
+  | 0 | 1 | 2 -> true
+  | 3 -> (2 * limb_bits) + num_bits_int mag.(2) <= fix_bits
+  | _ -> false
+
+(* Caller guarantees the magnitude fits in a non-negative native int. *)
+let int_of_mag mag =
+  let v = ref 0 in
+  for i = Array.length mag - 1 downto 0 do
+    v := (!v lsl limb_bits) lor mag.(i)
+  done;
+  !v
+
+(* |n| as a magnitude; peels limbs with negative arithmetic so min_int
+   (which has no positive native counterpart) works too. *)
+let mag_of_int_abs n =
+  let rec limbs acc n =
+    if n = 0 then acc else limbs ((-(n mod base)) :: acc) (n / base)
+  in
+  let l = limbs [] (if n < 0 then n else -n) in
+  Array.of_list (List.rev l)
+
+let make sign mag =
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then Fix 0
+  else if !fixnums && fits_fix_mag mag then
+    let v = int_of_mag mag in
+    Fix (if sign < 0 then -v else v)
+  else Big { sign = (if sign < 0 then -1 else 1); mag }
+
+let of_int n =
+  if n = 0 then Fix 0
+  else if !fixnums && n >= -fix_max && n <= fix_max then Fix n
+  else Big { sign = (if n < 0 then -1 else 1); mag = mag_of_int_abs n }
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let sign = function Fix n -> Stdlib.compare n 0 | Big b -> b.sign
+let is_zero = function Fix 0 -> true | _ -> false
+let mag_of = function Fix n -> mag_of_int_abs n | Big b -> b.mag
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+
+let compare a b =
+  match (a, b) with
+  | Fix x, Fix y -> Stdlib.compare x y
+  | _ ->
+      let sa = sign a and sb = sign b in
+      if sa <> sb then Stdlib.compare sa sb
+      else if sa = 0 then 0
+      else
+        let c = cmp_mag (mag_of a) (mag_of b) in
+        if sa >= 0 then c else -c
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+
+let neg = function
+  | Fix n -> Fix (-n)
+  | Big b -> Big { b with sign = -b.sign }
+
+let abs a = if sign a < 0 then neg a else a
+
+let add_general a b =
+  if is_zero a then b
+  else if is_zero b then a
+  else
+    let sa = sign a and sb = sign b in
+    let ma = mag_of a and mb = mag_of b in
+    if sa = sb then make sa (add_mag ma mb)
+    else
+      let c = cmp_mag ma mb in
+      if c = 0 then Fix 0
+      else if c > 0 then make sa (sub_mag ma mb)
+      else make sb (sub_mag mb ma)
+
+let add a b =
+  match (a, b) with
+  | Fix x, Fix y ->
+      (* |x|,|y| <= 2^61 - 1, so the native sum cannot wrap. *)
+      let s = x + y in
+      if s >= -fix_max && s <= fix_max then Fix s
+      else Big { sign = (if s < 0 then -1 else 1); mag = mag_of_int_abs s }
+  | _ -> add_general a b
+
+let sub a b =
+  match (a, b) with
+  | Fix x, Fix y ->
+      let s = x - y in
+      if s >= -fix_max && s <= fix_max then Fix s
+      else Big { sign = (if s < 0 then -1 else 1); mag = mag_of_int_abs s }
+  | _ -> add_general a (neg b)
+
+let succ a = add a one
+let pred a = sub a one
+
+let mul_general a b =
+  if is_zero a || is_zero b then Fix 0
+  else make (sign a * sign b) (mul_mag (mag_of a) (mag_of b))
+
+let mul a b =
+  match (a, b) with
+  | Fix 0, _ | _, Fix 0 -> Fix 0
+  | Fix x, Fix y
+    when num_bits_int (Stdlib.abs x) + num_bits_int (Stdlib.abs y) <= 62 ->
+      (* bits(x) + bits(y) <= 62 bounds |x*y| < 2^62, exact in native. *)
+      let p = x * y in
+      if p >= -fix_max && p <= fix_max then Fix p
+      else Big { sign = (if p < 0 then -1 else 1); mag = mag_of_int_abs p }
+  | _ -> mul_general a b
+
+let bit_length = function
+  | Fix n -> num_bits_int (Stdlib.abs n)
+  | Big b -> bit_length_mag b.mag
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Bignum.shift_left"
+  else if is_zero a || k = 0 then a
+  else
+    match a with
+    | Fix n when num_bits_int (Stdlib.abs n) + k <= fix_bits -> Fix (n lsl k)
+    | _ -> make (sign a) (shift_left_mag (mag_of a) k)
+
+let shift_right a k =
+  if k < 0 then invalid_arg "Bignum.shift_right"
+  else if is_zero a || k = 0 then a
+  else
+    match a with
+    | Fix n ->
+        let m = Stdlib.abs n lsr k in
+        Fix (if n < 0 then -m else m)
+    | _ -> make (sign a) (shift_right_mag (mag_of a) k)
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero
+  else if is_zero a then (Fix 0, Fix 0)
+  else
+    match (a, b) with
+    | Fix x, Fix y ->
+        (* truncated division; |q| <= |x| and |r| < |y| stay in range *)
+        (Fix (x / y), Fix (x mod y))
+    | _ ->
+        let qm, rm = divmod_mag (mag_of a) (mag_of b) in
+        (make (sign a * sign b) qm, make (sign a) rm)
+
+let quotient a b = fst (divmod a b)
+let remainder a b = snd (divmod a b)
+
+let modulo a b =
+  let r = remainder a b in
+  if is_zero r || sign r = sign b then r else add r b
+
+let is_even = function
+  | Fix n -> n land 1 = 0
+  | Big b -> b.mag.(0) land 1 = 0
+
+let pow base_v n =
+  if n < 0 then invalid_arg "Bignum.pow"
+  else
+    let rec go acc b n =
+      if n = 0 then acc
+      else if n = 1 then mul acc b
+        (* n = 1 used to fall through the squaring case: [go acc (mul b b)
+           0] squared the largest intermediate of the whole call only to
+           discard it. Returning here skips that dead final multiply. *)
+      else go (if n land 1 = 1 then mul acc b else acc) (mul b b) (n lsr 1)
+    in
+    go one base_v n
+
+(* ------------------------------------------------------------------ *)
+(* Decimal conversion                                                  *)
+
 let decimal_chunk = 1_000_000_000 (* largest power of 10 below 2^30 *)
+let chunk_digits = 9
+
+(* pow10.(k) = 10^k as a native int, k <= 18 (10^18 < 2^62). The integer
+   table replaces the old [int_of_float (10. ** float k)] detour, so
+   parsing never depends on float rounding. *)
+let pow10 =
+  let a = Array.make 19 1 in
+  for i = 1 to 18 do
+    a.(i) <- a.(i - 1) * 10
+  done;
+  a
+
+(* tree.(k) = 10^(9 * 2^k) as a magnitude, extended by repeated squaring
+   on demand. The atomic holds an immutable snapshot so concurrent
+   measurement domains can extend it lock-free: losers of the CAS just
+   re-read the (deterministic) winner's array. *)
+let pow10_tree = Atomic.make [| [| decimal_chunk |] |]
+
+let rec tree_level k =
+  let t = Atomic.get pow10_tree in
+  if k < Array.length t then t.(k)
+  else begin
+    let n = Array.length t in
+    let t' = Array.make (k + 1) [||] in
+    Array.blit t 0 t' 0 n;
+    for i = n to k do
+      t'.(i) <- mul_mag t'.(i - 1) t'.(i - 1)
+    done;
+    ignore (Atomic.compare_and_set pow10_tree t t');
+    tree_level k
+  end
+
+(* Limb count below which [to_string] uses the classic chunk loop, and
+   digit count below which [of_string] does; both are quadratic below
+   and divide-and-conquer above. *)
+let to_string_dc_threshold = ref 40
+let of_string_dc_threshold = ref 512
+
+(* Classic rendering: repeated division by 10^9, least-significant chunk
+   first, then print most-significant first. Quadratic in limbs. *)
+let chunk_loop_string mag =
+  let buf = Buffer.create 16 in
+  let rec chunks mag acc =
+    if Array.length mag = 0 then acc
+    else
+      let q, r = divmod_small_mag mag decimal_chunk in
+      chunks (normalize_mag q) (r :: acc)
+  in
+  (match chunks (normalize_mag mag) [] with
+  | [] -> Buffer.add_char buf '0'
+  | first :: rest ->
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+  Buffer.contents buf
+
+(* Append the decimal digits of [mag], left-padded with zeros to [width]
+   (0 = no padding). Splits at the largest tree power whose limb count
+   is at most half the input's, so both halves shrink geometrically and
+   the divisions run through Algorithm D / Karatsuba. *)
+let rec dc_digits buf mag ~width =
+  let lm = Array.length mag in
+  if lm <= !to_string_dc_threshold then begin
+    let s = chunk_loop_string mag in
+    for _ = String.length s + 1 to width do
+      Buffer.add_char buf '0'
+    done;
+    Buffer.add_string buf s
+  end
+  else begin
+    let rec pick k =
+      if Array.length (tree_level (k + 1)) <= (lm + 1) / 2 then pick (k + 1)
+      else k
+    in
+    let k = pick 0 in
+    let p = tree_level k in
+    let hi, lo = divmod_mag mag p in
+    let lo_digits = chunk_digits * (1 lsl k) in
+    let hw = width - lo_digits in
+    dc_digits buf hi ~width:(if hw > 0 then hw else 0);
+    dc_digits buf lo ~width:lo_digits
+  end
 
 let to_string t =
-  if t.sign = 0 then "0"
+  match t with
+  | Fix n -> string_of_int n
+  | Big { sign; mag } ->
+      let buf = Buffer.create (4 * Array.length mag) in
+      if sign < 0 then Buffer.add_char buf '-';
+      dc_digits buf mag ~width:0;
+      Buffer.contents buf
+
+let to_string_classic t =
+  match t with
+  | Fix n -> string_of_int n
+  | Big { sign; mag } ->
+      let digits = chunk_loop_string mag in
+      if sign < 0 then "-" ^ digits else digits
+
+(* Classic parse of s.[lo..hi): fold 9-digit chunks left to right,
+   scaling by the integer power table. Quadratic in the digit count.
+   Digits are pre-validated by [of_string]. *)
+let chunk_loop_parse s lo hi =
+  let mag = ref [||] in
+  let i = ref lo in
+  while !i < hi do
+    let cl = Stdlib.min chunk_digits (hi - !i) in
+    let m = ref 0 in
+    for j = !i to !i + cl - 1 do
+      m := (!m * 10) + (Char.code s.[j] - Char.code '0')
+    done;
+    mag := add_small_mag (mul_small_mag !mag pow10.(cl)) !m;
+    i := !i + cl
+  done;
+  normalize_mag !mag
+
+(* Divide-and-conquer parse: split so the low part is exactly
+   9 * 2^k digits (the tree power's width), recurse, and recombine with
+   one Karatsuba multiply: high * 10^(9*2^k) + low. *)
+let rec dc_parse s lo hi =
+  let len = hi - lo in
+  if len <= !of_string_dc_threshold then chunk_loop_parse s lo hi
   else begin
-    let buf = Buffer.create 16 in
-    let rec chunks mag acc =
-      if Array.length (normalize_mag mag) = 0 then acc
-      else
-        let q, r = divmod_small_mag mag decimal_chunk in
-        chunks (normalize_mag q) (r :: acc)
+    let rec pick k =
+      if chunk_digits * (1 lsl (k + 1)) < len then pick (k + 1) else k
     in
-    (match chunks t.mag [] with
-    | [] -> assert false
-    | first :: rest ->
-        Buffer.add_string buf (string_of_int first);
-        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
-    let digits = Buffer.contents buf in
-    if t.sign < 0 then "-" ^ digits else digits
+    let k = pick 0 in
+    let split = hi - (chunk_digits * (1 lsl k)) in
+    let hi_mag = dc_parse s lo split in
+    let lo_mag = dc_parse s split hi in
+    normalize_mag (add_mag (mul_mag hi_mag (tree_level k)) lo_mag)
   end
+
+let parse_sign s len =
+  if len = 0 then invalid_arg "Bignum.of_string: empty string";
+  let sign, start =
+    match s.[0] with '-' -> (-1, 1) | '+' -> (1, 1) | _ -> (1, 0)
+  in
+  if start >= len then invalid_arg "Bignum.of_string: no digits";
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then
+      invalid_arg ("Bignum.of_string: bad digit " ^ String.make 1 c)
+  done;
+  (sign, start)
 
 let of_string s =
   let len = String.length s in
-  if len = 0 then invalid_arg "Bignum.of_string: empty string";
-  let sign, start =
-    match s.[0] with
-    | '-' -> (-1, 1)
-    | '+' -> (1, 1)
-    | _ -> (1, 0)
-  in
-  if start >= len then invalid_arg "Bignum.of_string: no digits";
-  let mag = ref [||] in
-  let i = ref start in
-  while !i < len do
-    let chunk_len = Stdlib.min 9 (len - !i) in
-    let chunk = String.sub s !i chunk_len in
-    String.iter
-      (fun c ->
-        if c < '0' || c > '9' then
-          invalid_arg ("Bignum.of_string: bad digit " ^ String.make 1 c))
-      chunk;
-    let m = int_of_string chunk in
-    let scale = int_of_float (10. ** float_of_int chunk_len) in
-    mag := add_small_mag (mul_small_mag !mag scale) m;
-    i := !i + chunk_len
-  done;
-  make sign !mag
+  let sign, start = parse_sign s len in
+  if len - start <= 18 then begin
+    (* <= 18 digits is < 10^18 < 2^62: exact in a native int. *)
+    let v = ref 0 in
+    for i = start to len - 1 do
+      v := (!v * 10) + (Char.code s.[i] - Char.code '0')
+    done;
+    of_int (if sign < 0 then - !v else !v)
+  end
+  else make sign (dc_parse s start len)
+
+let of_string_classic s =
+  let len = String.length s in
+  let sign, start = parse_sign s len in
+  make sign (chunk_loop_parse s start len)
+
+(* ------------------------------------------------------------------ *)
+(* Native-int extraction                                               *)
 
 let to_int t =
-  (* 62 bits always fits; anything longer may not. *)
-  if bit_length t <= 62 then begin
-    let v = ref 0 in
-    for i = Array.length t.mag - 1 downto 0 do
-      v := (!v lsl limb_bits) lor t.mag.(i)
-    done;
-    Some (if t.sign < 0 then - !v else !v)
-  end
-  else None
+  match t with
+  | Fix n -> Some n
+  | Big { sign; mag } ->
+      let bl = bit_length_mag mag in
+      if bl <= 62 then
+        let v = int_of_mag mag in
+        Some (if sign < 0 then -v else v)
+      else if
+        (* The one 63-bit magnitude that still fits: |min_int| = 2^62,
+           i.e. limbs [|0; 0; 4|]. The old 62-bit guard rejected it, so
+           [of_int min_int |> to_int] came back [None]. *)
+        bl = 63 && sign < 0
+        && Array.length mag = 3
+        && mag.(0) = 0 && mag.(1) = 0 && mag.(2) = 4
+      then Some Stdlib.min_int
+      else None
 
 let to_int_exn t =
   match to_int t with
@@ -338,4 +739,44 @@ let to_int_exn t =
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
-let hash t = Hashtbl.hash (t.sign, t.mag)
+(* Representation-independent hash: fold every 30-bit limb of the
+   magnitude (an FNV-style multiply-xor), then mix in the sign. The old
+   [Hashtbl.hash] on the limb array sampled only a bounded prefix, so
+   large magnitudes differing in high limbs all collided; and a [Fix]
+   and a [Big] holding the same number must hash alike. *)
+let hash t =
+  let h = ref 0x811c9dc5 in
+  let mix l = h := ((!h * 0x01000193) lxor l) land Stdlib.max_int in
+  (match t with
+  | Fix n ->
+      let v = ref (Stdlib.abs n) in
+      while !v <> 0 do
+        mix (!v land limb_mask);
+        v := !v lsr limb_bits
+      done
+  | Big b -> Array.iter mix b.mag);
+  ((!h * 31) + sign t) land Stdlib.max_int
+
+(* ------------------------------------------------------------------ *)
+(* Internal surface for differential tests and crossover benchmarks    *)
+
+module Internal = struct
+  let karatsuba_threshold = karatsuba_threshold
+  let to_string_dc_threshold = to_string_dc_threshold
+  let of_string_dc_threshold = of_string_dc_threshold
+
+  let mul_schoolbook a b =
+    if is_zero a || is_zero b then Fix 0
+    else make (sign a * sign b) (mul_mag_school (mag_of a) (mag_of b))
+
+  let divmod_schoolbook a b =
+    if is_zero b then raise Division_by_zero
+    else if is_zero a then (Fix 0, Fix 0)
+    else
+      let qm, rm = divmod_mag_school (mag_of a) (mag_of b) in
+      (make (sign a * sign b) qm, make (sign a) rm)
+
+  let to_string_classic = to_string_classic
+  let of_string_classic = of_string_classic
+  let limbs t = Array.length (mag_of t)
+end

@@ -192,10 +192,10 @@ let () =
       (store, bool (Bignum.sign (want_int "negative?" (one "negative?" args)) < 0)));
   define "even?" (fun _ store args ->
       let z = want_int "even?" (one "even?" args) in
-      (store, bool (Bignum.is_zero (Bignum.modulo z (Bignum.of_int 2)))));
+      (store, bool (Bignum.is_even z)));
   define "odd?" (fun _ store args ->
       let z = want_int "odd?" (one "odd?" args) in
-      (store, bool (not (Bignum.is_zero (Bignum.modulo z (Bignum.of_int 2))))));
+      (store, bool (not (Bignum.is_even z))));
   define "abs" (fun _ store args ->
       (store, Int (Bignum.abs (want_int "abs" (one "abs" args)))));
   define "min" (fun _ store args ->

@@ -5,6 +5,7 @@ module Corpus = Tailspace_corpus.Corpus
 module Families = Tailspace_corpus.Families
 module Resilience = Tailspace_resilience.Resilience
 module Json = Tailspace_telemetry.Telemetry.Json
+module Bignum = Tailspace_bignum.Bignum
 module P = Tailspace_provenance.Provenance
 
 (* Corollary 20 says the observable answer is independent of the
@@ -39,6 +40,8 @@ type report = {
   vm_failures : string list;
   census_invariant : bool;
   census_failures : string list;
+  fixnum_invariant : bool;
+  fixnum_failures : string list;
   ok : bool;
 }
 
@@ -303,6 +306,70 @@ let census_agreement ~fuel () =
     [ "countdown"; "append" ];
   List.rev !fails
 
+(* The space model charges an exact integer by its magnitude
+   ([1 + bit_length z]), never by its representation, so toggling the
+   bignum fixnum fast path must be observationally invisible: same
+   status, same step count, same measured peak, on every variant and
+   every engine. Run the differential A/B with the tag on and off —
+   six variants under the stepper, plus both VM tiers on [Tail] — over
+   the default programs and the factorial entry (whose intermediates
+   cross the fixnum/limb promotion boundary both ways). *)
+let fixnum_agreement ~fuel programs =
+  let programs =
+    programs
+    @ List.filter_map
+        (fun name ->
+          match Corpus.find name with
+          | Some e -> (
+              match List.rev e.Corpus.checks with
+              | (n, _) :: _ -> Some (e.Corpus.name, Corpus.program e, n)
+              | [] -> None)
+          | None -> None)
+        [ "fact" ]
+  in
+  let engines =
+    List.map (fun v -> (Machine.Stepper, v)) Machine.all_variants
+    @ [ (Machine.Vm, Machine.Tail); (Machine.Vm_fast, Machine.Tail) ]
+  in
+  let restore = Bignum.fixnums_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Bignum.set_fixnums restore)
+    (fun () ->
+      List.concat_map
+        (fun (family, program, n) ->
+          List.filter_map
+            (fun (engine, variant) ->
+              let opts = Machine.Run_opts.make ~fuel () in
+              let config = Machine.Config.make ~engine ~variant () in
+              let point enabled =
+                Bignum.set_fixnums enabled;
+                Runner.run_once ~opts ~config ~program ~n ()
+              in
+              let on = point true in
+              let off = point false in
+              (* The fast tier compiles accounting out: steps and peaks
+                 are not reported there, so compare observable status
+                 only (as [vm_agreement] does). *)
+              let accounted = engine <> Machine.Vm_fast in
+              if
+                String.equal (status_text on) (status_text off)
+                && ((not accounted)
+                   || on.Runner.steps = off.Runner.steps
+                      && on.Runner.peak_space = off.Runner.peak_space)
+              then None
+              else
+                Some
+                  (Printf.sprintf
+                     "%s n=%d %s/%s: fixnums on %s steps=%d peak=%d vs off %s \
+                      steps=%d peak=%d"
+                     family n
+                     (Machine.engine_name engine)
+                     (Machine.variant_name variant)
+                     (status_text on) on.Runner.steps on.Runner.peak_space
+                     (status_text off) off.Runner.steps off.Runner.peak_space))
+            engines)
+        programs)
+
 let run ?(fuel = 2_000_000) ?programs () =
   let programs =
     match programs with Some ps -> ps | None -> default_programs ()
@@ -323,9 +390,11 @@ let run ?(fuel = 2_000_000) ?programs () =
   let vm_invariant = vm_failures = [] in
   let census_failures = census_agreement ~fuel () in
   let census_invariant = census_failures = [] in
+  let fixnum_failures = fixnum_agreement ~fuel programs in
+  let fixnum_invariant = fixnum_failures = [] in
   let ok =
     cross_variant_agree && algol_stuck_on_demand && annot_invariant
-    && vm_invariant && census_invariant
+    && vm_invariant && census_invariant && fixnum_invariant
     && List.for_all (fun c -> c.answer_agrees && c.peak_stable) checks
   in
   {
@@ -338,6 +407,8 @@ let run ?(fuel = 2_000_000) ?programs () =
     vm_failures;
     census_invariant;
     census_failures;
+    fixnum_invariant;
+    fixnum_failures;
     ok;
   }
 
@@ -350,13 +421,14 @@ let render r =
     (Printf.sprintf
        "differential oracle: %d checks, cross-variant agreement %s, algol \
         dangling-pointer stuck state %s, annotation invariance %s, bytecode \
-        VM agreement %s, census invariance %s\n"
+        VM agreement %s, census invariance %s, fixnum invariance %s\n"
        (List.length r.checks)
        (if r.cross_variant_agree then "ok" else "FAILED")
        (if r.algol_stuck_on_demand then "reachable" else "NOT REACHABLE")
        (if r.annot_invariant then "ok" else "FAILED")
        (if r.vm_invariant then "ok" else "FAILED")
-       (if r.census_invariant then "ok" else "FAILED"));
+       (if r.census_invariant then "ok" else "FAILED")
+       (if r.fixnum_invariant then "ok" else "FAILED"));
   List.iter
     (fun f -> Buffer.add_string buf (Printf.sprintf "ANNOT MISMATCH %s\n" f))
     r.annot_failures;
@@ -366,6 +438,9 @@ let render r =
   List.iter
     (fun f -> Buffer.add_string buf (Printf.sprintf "CENSUS MISMATCH %s\n" f))
     r.census_failures;
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "FIXNUM MISMATCH %s\n" f))
+    r.fixnum_failures;
   (match failures r with
   | [] -> Buffer.add_string buf "all adversarial schedules agree with baseline\n"
   | fs ->
@@ -410,6 +485,9 @@ let to_json r =
       ("census_invariant", Json.Bool r.census_invariant);
       ( "census_failures",
         Json.List (List.map (fun s -> Json.Str s) r.census_failures) );
+      ("fixnum_invariant", Json.Bool r.fixnum_invariant);
+      ( "fixnum_failures",
+        Json.List (List.map (fun s -> Json.Str s) r.fixnum_failures) );
       ("checks", Json.Int (List.length r.checks));
       ("failures", Json.List (List.map check_to_json (failures r)));
     ]

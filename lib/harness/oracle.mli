@@ -60,6 +60,15 @@ type report = {
           censuses (modulo display labels) *)
   census_failures : string list;
       (** human-readable description of each census disagreement *)
+  fixnum_invariant : bool;
+      (** toggling the bignum fixnum fast path is observationally
+          invisible: status, step count, and peak space are bit-identical
+          with fixnums on and off for every (program, variant) under the
+          stepper and for both VM tiers on [Tail] (the fast tier, whose
+          accounting is compiled out, is held to status only) — the
+          space charge is a function of magnitude, not representation *)
+  fixnum_failures : string list;
+      (** human-readable description of each fixnum disagreement *)
   ok : bool;
 }
 
@@ -85,4 +94,5 @@ val render : report -> string
 val to_json : report -> Json.t
 (** [{"ok", "cross_variant_agree", "algol_stuck_on_demand",
     "annot_invariant", "annot_failures", "vm_invariant", "vm_failures",
-    "census_invariant", "census_failures", "checks", "failures"}]. *)
+    "census_invariant", "census_failures", "fixnum_invariant",
+    "fixnum_failures", "checks", "failures"}]. *)

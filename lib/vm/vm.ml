@@ -343,10 +343,10 @@ let () =
       fbool (Bignum.sign (want_int "negative?" (one "negative?" args)) < 0));
   fdefine "even?" (fun _ args ->
       let z = want_int "even?" (one "even?" args) in
-      fbool (Bignum.is_zero (Bignum.modulo z (Bignum.of_int 2))));
+      fbool (Bignum.is_even z));
   fdefine "odd?" (fun _ args ->
       let z = want_int "odd?" (one "odd?" args) in
-      fbool (not (Bignum.is_zero (Bignum.modulo z (Bignum.of_int 2)))));
+      fbool (not (Bignum.is_even z)));
   fdefine "abs" (fun _ args -> FInt (Bignum.abs (want_int "abs" (one "abs" args))));
   fdefine "min" (fun _ args ->
       match args with

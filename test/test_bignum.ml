@@ -138,6 +138,71 @@ let test_equal_structural () =
     (B.equal (bi 100) (B.add (B.sub (B.of_string "1000000000000000000000") (B.of_string "999999999999999999900"))
                          B.zero))
 
+let test_min_int_roundtrip () =
+  (* |min_int| = 2^62 is the one 63-bit magnitude that fits a native
+     int; the old 62-bit guard in to_int rejected it *)
+  Alcotest.(check (option int))
+    "of_int min_int |> to_int" (Some min_int)
+    (B.to_int (bi min_int));
+  check_int "to_int_exn min_int" min_int (B.to_int_exn (bi min_int));
+  Alcotest.(check (option int))
+    "min_int - 1 does not fit" None
+    (B.to_int (B.pred (bi min_int)));
+  Alcotest.(check (option int))
+    "|min_int| positive does not fit" None
+    (B.to_int (B.abs (bi min_int)))
+
+let test_is_even () =
+  List.iter
+    (fun n ->
+      check_bool (string_of_int n) (n mod 2 = 0) (B.is_even (bi n)))
+    [ 0; 1; 2; -1; -2; 7; -7; max_int; min_int ];
+  check_bool "big even" true
+    (B.is_even (B.mul (B.pow (bi 10) 40) (bi 2)));
+  check_bool "big odd" false
+    (B.is_even (B.succ (B.mul (B.pow (bi 10) 40) (bi 2))))
+
+let test_hash_high_limbs () =
+  (* values differing only in high limbs must hash apart (the old
+     Hashtbl.hash sampled a bounded prefix of the limb array) *)
+  let x = B.shift_left B.one 900 in
+  let y = B.shift_left B.one 930 in
+  check_bool "2^900 vs 2^930" true (B.hash x <> B.hash y);
+  check_bool "sign matters" true (B.hash x <> B.hash (B.neg x))
+
+let test_fixnum_representation () =
+  check_bool "small is tagged" true (B.is_fixnum (bi 42));
+  check_bool "2^100 is limbs" false (B.is_fixnum (B.pow (bi 2) 100));
+  B.set_fixnums false;
+  Fun.protect
+    ~finally:(fun () -> B.set_fixnums true)
+    (fun () ->
+      let z = B.of_string "12345678901234567890" in
+      B.set_fixnums true;
+      let z' = B.of_string "12345678901234567890" in
+      (* mixed representations of the same number are indistinguishable *)
+      check_bool "equal across reprs" true (B.equal z z');
+      check_int "hash across reprs" (B.hash z) (B.hash z');
+      check_str "print across reprs" (bs z) (bs z');
+      check_int "bit_length across reprs" (B.bit_length z) (B.bit_length z'))
+
+(* Temporarily force the sub-quadratic paths to engage at tiny sizes so
+   QCheck inputs cross every threshold, restoring the tuned defaults
+   afterwards. *)
+let with_thresholds f =
+  let k = !B.Internal.karatsuba_threshold
+  and ts = !B.Internal.to_string_dc_threshold
+  and os = !B.Internal.of_string_dc_threshold in
+  B.Internal.karatsuba_threshold := 4;
+  B.Internal.to_string_dc_threshold := 2;
+  B.Internal.of_string_dc_threshold := 24;
+  Fun.protect
+    ~finally:(fun () ->
+      B.Internal.karatsuba_threshold := k;
+      B.Internal.to_string_dc_threshold := ts;
+      B.Internal.of_string_dc_threshold := os)
+    f
+
 (* --- properties --- *)
 
 let small_int = QCheck.int_range (-100000) 100000
@@ -201,6 +266,75 @@ let prop_bit_length_bound =
       B.compare (B.abs z) (B.pow (bi 2) bits) < 0
       && B.compare (B.abs z) (B.pow (bi 2) (bits - 1)) >= 0)
 
+(* --- differential properties: the sub-quadratic paths vs schoolbook --- *)
+
+(* decimal strings up to ~360 digits: with the lowered thresholds these
+   land on both sides of every split (Karatsuba, Algorithm D, d&c
+   conversion), including the base cases *)
+let huge =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(
+      let* neg = bool in
+      let* len = int_range 1 360 in
+      let* first = int_range 1 9 in
+      let* rest =
+        string_size (return (len - 1)) ~gen:(map (fun d -> Char.chr (48 + d)) (int_bound 9))
+      in
+      return ((if neg then "-" else "") ^ string_of_int first ^ rest))
+
+let prop_karatsuba_vs_schoolbook =
+  QCheck.Test.make ~name:"karatsuba = schoolbook across the threshold"
+    ~count:200 (QCheck.pair huge huge) (fun (sa, sb) ->
+      with_thresholds (fun () ->
+          let a = B.of_string sa and b = B.of_string sb in
+          B.equal (B.mul a b) (B.Internal.mul_schoolbook a b)))
+
+let prop_knuth_vs_schoolbook =
+  QCheck.Test.make ~name:"algorithm D = schoolbook division, same contract"
+    ~count:200 (QCheck.pair huge huge) (fun (sa, sb) ->
+      with_thresholds (fun () ->
+          let a = B.of_string sa and b = B.of_string sb in
+          QCheck.assume (not (B.is_zero b));
+          let q, r = B.divmod a b in
+          let q', r' = B.Internal.divmod_schoolbook a b in
+          B.equal q q' && B.equal r r'
+          && B.equal a (B.add (B.mul q b) r)
+          && B.compare (B.abs r) (B.abs b) < 0))
+
+let prop_dc_conversion_vs_classic =
+  QCheck.Test.make ~name:"d&c decimal conversion = classic, both directions"
+    ~count:200 huge (fun s ->
+      with_thresholds (fun () ->
+          let z = B.of_string s in
+          String.equal (B.to_string z) (B.Internal.to_string_classic z)
+          && B.equal z (B.Internal.of_string_classic s)
+          && B.equal z (B.of_string (B.to_string z))))
+
+let prop_fixnum_invisible =
+  QCheck.Test.make ~name:"fixnums on/off produce equal observables"
+    ~count:200 (QCheck.pair huge huge) (fun (sa, sb) ->
+      let run () =
+        let a = B.of_string sa and b = B.of_string sb in
+        let q, r =
+          if B.is_zero b then (B.zero, B.zero) else B.divmod a b
+        in
+        (B.add a b, B.mul a b, q, r, B.hash a, B.to_string a, B.bit_length a)
+      in
+      let s1, m1, q1, r1, h1, t1, l1 = run () in
+      B.set_fixnums false;
+      let s2, m2, q2, r2, h2, t2, l2 =
+        Fun.protect ~finally:(fun () -> B.set_fixnums true) run
+      in
+      B.equal s1 s2 && B.equal m1 m2 && B.equal q1 q2 && B.equal r1 r2
+      && h1 = h2 && String.equal t1 t2 && l1 = l2)
+
+let prop_is_even_matches_modulo =
+  QCheck.Test.make ~name:"is_even = (modulo z 2 = 0), negatives included"
+    ~count:300 huge (fun s ->
+      let z = B.of_string s in
+      B.is_even z = B.is_zero (B.modulo z (bi 2)))
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "bignum"
@@ -224,6 +358,11 @@ let () =
           Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
           Alcotest.test_case "succ/pred" `Quick test_succ_pred;
           Alcotest.test_case "canonical equality" `Quick test_equal_structural;
+          Alcotest.test_case "min_int roundtrip" `Quick test_min_int_roundtrip;
+          Alcotest.test_case "is_even" `Quick test_is_even;
+          Alcotest.test_case "hash high limbs" `Quick test_hash_high_limbs;
+          Alcotest.test_case "fixnum representation" `Quick
+            test_fixnum_representation;
         ] );
       ( "properties",
         q
@@ -236,5 +375,14 @@ let () =
             prop_compare_total_order;
             prop_shift_is_pow2;
             prop_bit_length_bound;
+          ] );
+      ( "differential",
+        q
+          [
+            prop_karatsuba_vs_schoolbook;
+            prop_knuth_vs_schoolbook;
+            prop_dc_conversion_vs_classic;
+            prop_fixnum_invisible;
+            prop_is_even_matches_modulo;
           ] );
     ]
