@@ -66,7 +66,11 @@ let experiment_benches =
              machines));
     Test.make ~name:"thm26.pk-linked"
       (let t = M.create_with (M.Config.make ~variant:M.Tail ()) in
-       let opts = M.Run_opts.make ~measure_linked:true () in
+       let opts =
+         M.Run_opts.make
+           ~measure:[ Tailspace_core.Space_model.Flat; Tailspace_core.Space_model.Linked ]
+           ()
+       in
        Staged.stage (fun () ->
            ignore
              (M.exec_program ~opts t ~program:pk ~input:(R.input_expr 8))));

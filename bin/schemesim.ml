@@ -28,6 +28,7 @@
 
 open Cmdliner
 module M = Tailspace_core.Machine
+module SM = Tailspace_core.Space_model
 module Expand = Tailspace_expander.Expand
 module Reader = Tailspace_sexp.Reader
 module TC = Tailspace_analysis.Tail_calls
@@ -61,6 +62,9 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 (* JSON pieces shared by [run --json], [profile], and [bench --json]. *)
+
+let peaks_json peaks =
+  Json.Obj (List.map (fun (m, p) -> (SM.name m, Json.Int p)) peaks)
 
 let outcome_name = function
   | M.Done _ -> "done"
@@ -112,6 +116,7 @@ let result_json ~program_name ~variant (result : M.result) tl =
        ("abort", abort);
        ("program_size", Json.Int result.M.program_size);
        ("space_consumption", Json.Int (M.space_consumption result));
+       ("peaks", peaks_json result.M.peaks);
      ]
     @ summary_fields
     @
@@ -218,7 +223,7 @@ let vm_fast_arg =
 
 (* The VM tiers refuse configurations whose accounting they cannot
    honor; surface that as a usage error (exit 2) before running. *)
-let resolve_engine ~engine ~vm_fast ~variant ~perm ~linked =
+let resolve_engine ~engine ~vm_fast ~variant ~perm ~measure =
   let engine = if vm_fast then M.Vm_fast else engine in
   let usage m =
     Format.eprintf "schemesim: %s@." m;
@@ -234,8 +239,10 @@ let resolve_engine ~engine ~vm_fast ~variant ~perm ~linked =
         usage "--engine vm-fast supports only the tail variant (-v tail)";
       if perm <> M.Left_to_right then
         usage "--engine vm-fast evaluates left-to-right only (--perm ltr)";
-      if linked then
-        usage "--engine vm-fast cannot measure linked space (drop --linked)");
+      if SM.normalize measure <> [ SM.Flat ] then
+        usage
+          "--engine vm-fast measures only the flat model (drop \
+           --linked/--model)");
   engine
 
 let fuel_arg =
@@ -265,8 +272,53 @@ let make_budget ?timeout_s ?space_words ?output_bytes () =
   Res.Budget.make ?timeout_s ?space_words ?output_bytes ()
 
 let linked_arg =
-  let doc = "Also measure the linked-environment space model (Figure 8)." in
+  let doc =
+    "Also measure the linked-environment space model (Figure 8); shorthand \
+     for --model linked."
+  in
   Arg.(value & flag & info [ "linked" ] ~doc)
+
+let model_conv =
+  let parse s =
+    match SM.of_name (String.lowercase_ascii (String.trim s)) with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown space model %S (expected %s)" s
+               (String.concat "|" (List.map SM.name SM.all))))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (SM.name m))
+
+let model_arg =
+  let doc =
+    "Extra space models to measure, comma-separated: flat (Figure 7, always \
+     measured), linked (Figure 8's dedup'd bindings), log (pointer-size \
+     accounting — every linked unit at ceil(log2 |store|) bits). Composes \
+     with --linked."
+  in
+  Arg.(value & opt (list model_conv) [] & info [ "model" ] ~docv:"MODELS" ~doc)
+
+(* The measure list a command runs under: --model's list plus the
+   --linked shorthand, normalized (Flat always present, canonical
+   order). *)
+let measure_of ~linked ~models =
+  SM.normalize (models @ if linked then [ SM.Linked ] else [])
+
+(* "; linked peak U=..." / "; log peak Log=..." footer lines of the
+   plain-text reports, one per heavy model measured. Definition 23
+   charges the program term too: |P| words, or word-size bits under
+   Log. *)
+let print_heavy_peaks ~program_size peaks =
+  List.iter
+    (fun ((model : SM.t), p) ->
+      match model with
+      | SM.Flat -> ()
+      | SM.Linked -> Format.printf "; linked peak U=%d@." (p + program_size)
+      | SM.Log ->
+          Format.printf "; log peak Log=%d bits@."
+            (p + (SM.word_bits * program_size)))
+    peaks
 
 let no_annot_arg =
   let doc =
@@ -353,10 +405,11 @@ let run_cmd =
     Arg.(value & opt int 16 & info [ "ring" ] ~docv:"K" ~doc)
   in
   let run file expr input variant perm stack_policy no_annot engine vm_fast
-      fuel timeout space_budget output_cap linked trace_steps profile json
-      ring =
+      fuel timeout space_budget output_cap linked models trace_steps profile
+      json ring =
     with_program file expr @@ fun program_name program ->
-    let engine = resolve_engine ~engine ~vm_fast ~variant ~perm ~linked in
+    let measure = measure_of ~linked ~models in
+    let engine = resolve_engine ~engine ~vm_fast ~variant ~perm ~measure in
     let budget =
       make_budget ?timeout_s:timeout ?space_words:space_budget
         ?output_bytes:output_cap ()
@@ -392,16 +445,14 @@ let run_cmd =
           profile_channel
       in
       let telemetry = Tel.create ?sink ~ring () in
-      let opts =
-        M.Run_opts.make ~fuel ~budget ~measure_linked:linked ~telemetry ()
-      in
+      let opts = M.Run_opts.make ~fuel ~budget ~measure ~telemetry () in
       let n = Option.get input in
       let r =
         Fun.protect
           ~finally:(fun () -> Option.iter close_out profile_channel)
           (fun () -> Vm.exec_program ~opts config ~program ~input:(R.input_expr n))
       in
-      let space = r.Vm.program_size + r.Vm.peak_space in
+      let space = r.Vm.program_size + Vm.peak_space r in
       if json then
         print_endline
           (Json.to_string
@@ -436,12 +487,9 @@ let run_cmd =
                   ("program_size", Json.Int r.Vm.program_size);
                   ("space_consumption", Json.Int space);
                   ("steps", Json.Int r.Vm.steps);
-                  ("peak_space", Json.Int r.Vm.peak_space);
+                  ("peak_space", Json.Int (Vm.peak_space r));
                   ("gc_runs", Json.Int r.Vm.gc_runs);
-                  ( "peak_linked",
-                    match r.Vm.peak_linked with
-                    | Some l -> Json.Int l
-                    | None -> Json.Null );
+                  ("peaks", peaks_json r.Vm.peaks);
                 ]))
       else begin
         if r.Vm.output <> "" then print_string r.Vm.output;
@@ -454,10 +502,8 @@ let run_cmd =
           "; engine=%s variant=%s steps=%d |P|=%d peak=%d S=|P|+peak=%d \
            gc-runs=%d@."
           (M.engine_name engine) (M.variant_name variant) r.Vm.steps
-          r.Vm.program_size r.Vm.peak_space space r.Vm.gc_runs;
-        match r.Vm.peak_linked with
-        | Some u -> Format.printf "; linked peak U=%d@." (u + r.Vm.program_size)
-        | None -> ()
+          r.Vm.program_size (Vm.peak_space r) space r.Vm.gc_runs;
+        print_heavy_peaks ~program_size:r.Vm.program_size r.Vm.peaks
       end;
       match r.Vm.outcome with Vm.Done _ -> exit 0 | _ -> exit 1
     end;
@@ -484,9 +530,7 @@ let run_cmd =
         profile_channel
     in
     let telemetry = Tel.create ?sink ?config_sink ~ring () in
-    let opts =
-      M.Run_opts.make ~fuel ~budget ~measure_linked:linked ~telemetry ()
-    in
+    let opts = M.Run_opts.make ~fuel ~budget ~measure ~telemetry () in
     let result =
       Fun.protect
         ~finally:(fun () -> Option.iter close_out profile_channel)
@@ -510,12 +554,10 @@ let run_cmd =
       Format.printf
         "; variant=%s steps=%d |P|=%d peak=%d S=|P|+peak=%d gc-runs=%d@."
         (M.variant_name variant) result.M.steps result.M.program_size
-        result.M.peak_space
+        (M.peak_space result)
         (M.space_consumption result)
         result.M.gc_runs;
-      match result.M.peak_linked with
-      | Some u -> Format.printf "; linked peak U=%d@." (u + result.M.program_size)
-      | None -> ()
+      print_heavy_peaks ~program_size:result.M.program_size result.M.peaks
     end;
     match result.M.outcome with M.Done _ -> () | _ -> exit 1
   in
@@ -525,7 +567,7 @@ let run_cmd =
       const run $ file_pos_arg $ expr_arg $ input_arg $ variant_arg $ perm_arg
       $ stack_policy_arg $ no_annot_arg $ engine_arg $ vm_fast_arg $ fuel_arg
       $ timeout_arg $ space_budget_arg $ output_cap_arg $ linked_arg
-      $ trace_arg $ profile_arg $ json_arg $ ring_arg)
+      $ model_arg $ trace_arg $ profile_arg $ json_arg $ ring_arg)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -553,8 +595,9 @@ let profile_cmd =
     Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
   in
   let profile file expr input variant perm stack_policy no_annot fuel timeout
-      space_budget output_cap linked csv stride events =
+      space_budget output_cap linked models csv stride events =
     with_program file expr @@ fun program_name program ->
+    let measure = measure_of ~linked ~models in
     let budget =
       make_budget ?timeout_s:timeout ?space_words:space_budget
         ?output_bytes:output_cap ()
@@ -574,9 +617,7 @@ let profile_cmd =
         events_channel
     in
     let telemetry = Tel.create ?sink ~ring:16 ~profile:prof () in
-    let opts =
-      M.Run_opts.make ~fuel ~budget ~measure_linked:linked ~telemetry ()
-    in
+    let opts = M.Run_opts.make ~fuel ~budget ~measure ~telemetry () in
     let result =
       Fun.protect
         ~finally:(fun () -> Option.iter close_out events_channel)
@@ -614,8 +655,8 @@ let profile_cmd =
     Term.(
       const profile $ file_pos_arg $ expr_arg $ input_arg $ variant_arg
       $ perm_arg $ stack_policy_arg $ no_annot_arg $ fuel_arg $ timeout_arg
-      $ space_budget_arg $ output_cap_arg $ linked_arg $ csv_arg $ stride_arg
-      $ events_arg)
+      $ space_budget_arg $ output_cap_arg $ linked_arg $ model_arg $ csv_arg
+      $ stride_arg $ events_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench                                                               *)
@@ -712,7 +753,29 @@ let compare_baselines ~wall_band ~space_band old_path new_path =
                         (Prov.percent_delta ~from:o ~to_:nn)
                         (space_band *. 100.)
                   | _ -> ())
-                [ "peak_space"; "space" ]))
+                [ "peak_space"; "space" ];
+              (* per-model peaks: gate every model measured in BOTH
+                 baselines; a model present only on one side is a
+                 measurement-set change, not a regression *)
+              let peaks j =
+                match Json.member "peaks" j with
+                | Some (Json.Obj fs) -> fs
+                | _ -> []
+              in
+              List.iter
+                (fun (model, ov) ->
+                  match (ov, List.assoc_opt model (peaks np)) with
+                  | Json.Int o, Some (Json.Int nn)
+                    when float_of_int nn > float_of_int o *. (1. +. space_band)
+                    ->
+                      reg
+                        "point n=%d peak[%s] regression: %d -> %d (%+.1f%% > \
+                         %.0f%% band)"
+                        n model o nn
+                        (Prov.percent_delta ~from:o ~to_:nn)
+                        (space_band *. 100.)
+                  | _ -> ())
+                (peaks op)))
     (points old_j);
   match List.rev !regressions with
   | [] ->
@@ -758,8 +821,15 @@ let bench_cmd =
          ("variant", Json.Str (M.variant_name variant));
          ("n", Json.Int m.R.n);
          ("space_consumption", Json.Int m.R.space);
-         ( "linked_space_consumption",
-           match m.R.linked with Some u -> Json.Int u | None -> Json.Null );
+         ("peaks", peaks_json m.R.peaks);
+         ( "space_consumption_by_model",
+           Json.Obj
+             (List.filter_map
+                (fun model ->
+                  Option.map
+                    (fun c -> (SM.name model, Json.Int c))
+                    (R.consumption m model))
+                SM.all) );
          ("status", status_json m.R.status);
          ( "abort",
            match m.R.status with
@@ -777,8 +847,9 @@ let bench_cmd =
       | None -> [])
   in
   let bench file expr name_opt ns variant perm stack_policy no_annot engine
-      vm_fast fuel timeout space_budget output_cap linked json keep_going jobs
-      cache_dir baseline_out compare new_pos wall_band space_band =
+      vm_fast fuel timeout space_budget output_cap linked models json
+      keep_going jobs cache_dir baseline_out compare new_pos wall_band
+      space_band =
     if compare then begin
       match (file, new_pos) with
       | Some old_path, Some new_path ->
@@ -789,7 +860,8 @@ let bench_cmd =
              --compare OLD NEW@.";
           exit 2
     end;
-    let engine = resolve_engine ~engine ~vm_fast ~variant ~perm ~linked in
+    let measure = measure_of ~linked ~models in
+    let engine = resolve_engine ~engine ~vm_fast ~variant ~perm ~measure in
     (* [cache_source] is the program's identity in the cache key: the
        corpus tag, or the source text itself for files and inline
        expressions — editing the program invalidates its entries. *)
@@ -835,13 +907,12 @@ let bench_cmd =
                  ~opts:
                    (M.Run_opts.make
                       ~budget:{ budget with Res.Budget.fuel = Some fuel }
-                      ~measure_linked:linked ())
+                      ~measure ())
                  ~collect_telemetry:true ~config ~program ~ns ())
           else
             `Plain
               (R.sweep ?pool ?cache ?cache_source
-                 ~opts:
-                   (M.Run_opts.make ~fuel ~budget ~measure_linked:linked ())
+                 ~opts:(M.Run_opts.make ~fuel ~budget ~measure ())
                  ~collect_telemetry:true ~config ~program ~ns ()))
     in
     let wall_s = Res.Clock.now () -. started in
@@ -892,7 +963,8 @@ let bench_cmd =
                          [
                            ("n", Json.Int m.R.n);
                            ("space", Json.Int m.R.space);
-                           ("peak_space", Json.Int m.R.peak_space);
+                           ("peak_space", Json.Int (R.peak_space m));
+                           ("peaks", peaks_json m.R.peaks);
                            ("steps", Json.Int m.R.steps);
                            ("status", status_json m.R.status);
                          ])
@@ -1012,8 +1084,8 @@ let bench_cmd =
       const bench $ file_pos_arg $ expr_arg $ corpus_name_arg $ ns_arg
       $ variant_arg $ perm_arg $ stack_policy_arg $ no_annot_arg $ engine_arg
       $ vm_fast_arg $ fuel_arg $ timeout_arg $ space_budget_arg
-      $ output_cap_arg $ linked_arg $ json_arg $ keep_going_arg $ jobs_arg
-      $ cache_dir_arg $ baseline_out_arg $ compare_arg $ new_pos_arg
+      $ output_cap_arg $ linked_arg $ model_arg $ json_arg $ keep_going_arg
+      $ jobs_arg $ cache_dir_arg $ baseline_out_arg $ compare_arg $ new_pos_arg
       $ wall_band_arg $ space_band_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -1146,9 +1218,9 @@ let vmbench_cmd =
                        ("vm_fast_s", Json.Float fs);
                        ("speedup_fast", Json.Float sp);
                        ("steps", Json.Int sm.R.steps);
-                       ("peak_space", Json.Int sm.R.peak_space);
+                       ("peak_space", Json.Int (R.peak_space sm));
                        ("vm_steps", Json.Int im.R.steps);
-                       ("vm_peak_space", Json.Int im.R.peak_space);
+                       ("vm_peak_space", Json.Int (R.peak_space im));
                        ("answers_agree", Json.Bool agree);
                      ])
                  rows) );
@@ -1542,7 +1614,7 @@ let report_cmd =
   let which_arg =
     let doc =
       "Experiment to reproduce: fig2, thm24, thm25, thm26, sec4, cor20, cps, \
-       ablation, sanity, or all (default)."
+       ablation, sanity, loghier, or all (default)."
     in
     Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
   in
@@ -1570,6 +1642,7 @@ let report_cmd =
           | "cps" -> Ok (X.Cps.render (X.Cps.run ?pool ~engine ()))
           | "ablation" -> Ok (X.Ablation.render (X.Ablation.run ?pool ~engine ()))
           | "sanity" -> Ok (X.Sanity.render (X.Sanity.run ?pool ()))
+          | "loghier" -> Ok (X.LogHier.render (X.LogHier.run ?pool ~engine ()))
           | "all" -> Ok (X.render_all ?pool ~engine ())
           | other -> Error other)
     in
@@ -1635,7 +1708,7 @@ let faults_cmd =
                           | R.Aborted r ->
                               "aborted:" ^ Res.abort_reason_name r
                         in
-                        (status, m.R.steps, m.R.peak_space, true)
+                        (status, m.R.steps, R.peak_space m, true)
                     | exception e ->
                         ("escaped:" ^ Printexc.to_string e, 0, 0, false)
                   in
@@ -1714,7 +1787,8 @@ let spaceprof_cmd =
   let json_arg =
     let doc =
       "Print the census as one JSON object (rows, flamegraph stacks, and \
-       labels; the linked census too with --linked) instead of tables."
+       labels; the linked and log censuses too with --linked / --model) \
+       instead of tables."
     in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
@@ -1744,7 +1818,8 @@ let spaceprof_cmd =
     Arg.(value & opt int 0 & info [ "top" ] ~docv:"K" ~doc)
   in
   let spaceprof file expr corpus_name input variant engine vm_fast fuel linked
-      json flamegraph diff top =
+      models json flamegraph diff top =
+    let measure = measure_of ~linked ~models in
     let name, program =
       match corpus_name with
       | Some entry_name -> (
@@ -1774,16 +1849,18 @@ let spaceprof_cmd =
              §12's procedure-of-one-argument convention)@.";
           exit 2
     in
-    let engine = resolve_engine ~engine ~vm_fast ~variant ~perm:M.Left_to_right ~linked in
+    let engine =
+      resolve_engine ~engine ~vm_fast ~variant ~perm:M.Left_to_right ~measure
+    in
     if engine = M.Vm_fast then begin
       Format.eprintf
         "schemesim: the fast tier compiles accounting out and cannot carry a \
          census; use --engine stepper or vm@.";
       exit 2
     end;
-    (* One profiled run: census attached through Run_opts, peaks
-       recovered from the measurement (peak_space is the raw flat peak;
-       the linked column folds |P| in and must shed it). *)
+    (* One profiled run: census attached through Run_opts, raw per-model
+       peaks recovered from the measurement's [peaks] list (no |P| term
+       — the census decomposes the store peak, not the consumption). *)
     let census_run variant =
       if engine = M.Vm && variant <> M.Tail then begin
         Format.eprintf
@@ -1792,21 +1869,23 @@ let spaceprof_cmd =
         exit 2
       end;
       let census = Census.create () in
-      let opts =
-        M.Run_opts.make ~fuel ~measure_linked:linked ~provenance:census ()
-      in
+      let opts = M.Run_opts.make ~fuel ~measure ~provenance:census () in
       let m =
         R.run_once ~opts ~config:(M.Config.make ~engine ~variant ()) ~program
           ~n ()
       in
-      let psize = m.R.space - m.R.peak_space in
-      let flat = Census.flat_census census ~peak:m.R.peak_space in
+      let flat = Census.flat_census census ~peak:(R.peak_space m) in
       let linked_c =
-        match m.R.linked with
-        | Some l -> Census.linked_census census ~peak:(l - psize)
+        match R.peak_linked m with
+        | Some u -> Census.linked_census census ~peak:u
         | None -> None
       in
-      (m, flat, linked_c)
+      let log_c =
+        match R.peak_log m with
+        | Some l -> Census.log_census census ~peak:l
+        | None -> None
+      in
+      (m, flat, linked_c, log_c)
     in
     let check_sums what = function
       | None -> ()
@@ -1831,11 +1910,15 @@ let spaceprof_cmd =
           end
     in
     let status_line variant (m : R.measurement) =
-      Format.printf "; %s(%d) under %s (%s): S=%d peak=%d steps=%d%s@." name n
+      Format.printf "; %s(%d) under %s (%s): S=%d peak=%d steps=%d%s%s@." name
+        n
         (M.variant_name variant) (M.engine_name engine) m.R.space
-        m.R.peak_space m.R.steps
-        (match m.R.linked with
+        (R.peak_space m) m.R.steps
+        (match R.consumption m SM.Linked with
         | Some u -> Printf.sprintf " U=%d" u
+        | None -> "")
+        (match R.consumption m SM.Log with
+        | Some l -> Printf.sprintf " Log=%d bits" l
         | None -> "")
     in
     let failed (m : R.measurement) =
@@ -1860,11 +1943,13 @@ let spaceprof_cmd =
     in
     match diff with
     | Some (va, vb) ->
-        let ma, fa, la = census_run va and mb, fb, lb = census_run vb in
+        let ma, fa, la, ga = census_run va and mb, fb, lb, gb = census_run vb in
         check_sums (M.variant_name va) fa;
         check_sums (M.variant_name vb) fb;
         check_sums (M.variant_name va ^ " linked") la;
         check_sums (M.variant_name vb ^ " linked") lb;
+        check_sums (M.variant_name va ^ " log") ga;
+        check_sums (M.variant_name vb ^ " log") gb;
         (match (fa, fb) with
         | Some ca, Some cb ->
             let deltas = Prov.diff ca cb in
@@ -1918,9 +2003,10 @@ let spaceprof_cmd =
             exit 1);
         if failed ma || failed mb then exit 1
     | None ->
-        let m, flat, linked_c = census_run variant in
+        let m, flat, linked_c, log_c = census_run variant in
         check_sums "flat" flat;
         check_sums "linked" linked_c;
+        check_sums "log" log_c;
         (match flamegraph with
         | None -> ()
         | Some path -> (
@@ -1952,7 +2038,8 @@ let spaceprof_cmd =
                         | R.Aborted r -> "aborted:" ^ Res.abort_reason_name r)
                     );
                     ("space_consumption", Json.Int m.R.space);
-                    ("peak_space", Json.Int m.R.peak_space);
+                    ("peak_space", Json.Int (R.peak_space m));
+                    ("peaks", peaks_json m.R.peaks);
                     ("steps", Json.Int m.R.steps);
                     ( "flat",
                       match flat with
@@ -1960,6 +2047,10 @@ let spaceprof_cmd =
                       | None -> Json.Null );
                     ( "linked",
                       match linked_c with
+                      | Some c -> Prov.to_json c
+                      | None -> Json.Null );
+                    ( "log",
+                      match log_c with
                       | Some c -> Prov.to_json c
                       | None -> Json.Null );
                   ]))
@@ -1971,11 +2062,11 @@ let spaceprof_cmd =
               Format.eprintf
                 "schemesim: no peak census (did the run take a step?)@.";
               exit 1);
-          match linked_c with
-          | Some c ->
+          List.iter
+            (fun c ->
               print_newline ();
-              print_string (Table.census (truncate_rows c))
-          | None -> ()
+              print_string (Table.census (truncate_rows c)))
+            (List.filter_map Fun.id [ linked_c; log_c ])
         end;
         if failed m then exit 1
   in
@@ -1989,7 +2080,7 @@ let spaceprof_cmd =
     Term.(
       const spaceprof $ file_pos_arg $ expr_arg $ corpus_name_arg $ input_arg
       $ variant_arg $ engine_arg $ vm_fast_arg $ fuel_arg $ linked_arg
-      $ json_arg $ flamegraph_arg $ diff_arg $ top_arg)
+      $ model_arg $ json_arg $ flamegraph_arg $ diff_arg $ top_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve / loadgen                                                     *)

@@ -31,7 +31,7 @@ let () =
   Printf.printf "steps:  %d\n" result.Machine.steps;
   Printf.printf "|P|:    %d AST nodes\n" result.Machine.program_size;
   Printf.printf "peak:   %d words (sup of space(C_i), Figure 7)\n"
-    result.Machine.peak_space;
+    (Machine.peak_space result);
   Printf.printf "S(P):   %d words (|P| + peak, Definition 23)\n"
     (Machine.space_consumption result);
 
@@ -49,6 +49,7 @@ let () =
       |}
   in
   Printf.printf "\nthe same program under I_gc peaks at %d words —\n"
-    r2.Machine.peak_space;
+    (Machine.peak_space r2);
   Printf.printf "%.1fx the properly tail recursive peak, and growing with n.\n"
-    (float_of_int r2.Machine.peak_space /. float_of_int result.Machine.peak_space)
+    (float_of_int (Machine.peak_space r2)
+    /. float_of_int (Machine.peak_space result))

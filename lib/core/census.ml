@@ -49,6 +49,7 @@ type t = {
   mutable phase_hint : P.phase option;
   mutable flat_stash : stash;
   mutable linked_stash : stash;
+  mutable log_stash : stash;
 }
 
 let create () =
@@ -60,6 +61,7 @@ let create () =
     phase_hint = None;
     flat_stash = Nothing;
     linked_stash = Nothing;
+    log_stash = Nothing;
   }
 
 let set_annot t a = t.annot <- Some a
@@ -123,6 +125,9 @@ let stash_flat_final t ~v ~store = t.flat_stash <- At_final { v; store }
 
 let stash_linked t ~control ~env ~cont ~store =
   t.linked_stash <- At_config { control; env; cont; store }
+
+let stash_log t ~control ~env ~cont ~store =
+  t.log_stash <- At_config { control; env; cont; store }
 
 (* ------------------------------------------------------------------ *)
 (* Census assembly                                                     *)
@@ -363,13 +368,22 @@ let flat_census t ~peak =
 (* Linked census: the Figure 8 walk of [Space], with attribution. The
    global binding set is deduplicated exactly as there; each distinct
    (identifier, location) binding charges its one word to the site of
-   the cell it names, which is traversal-order independent.            *)
+   the cell it names, which is traversal-order independent.
 
-let linked_census t ~peak =
-  match t.linked_stash with
+   The log census is the same decomposition with every charge scaled by
+   the stashed store's pointer size — an integer factor, so the rows
+   still sum exactly to [scale * linked units], which is precisely the
+   log peak at the stashed configuration.                              *)
+
+let linked_like_census t stash ~measure ~scale_of_store ~peak =
+  match (stash : stash) with
   | Nothing | At_final _ -> None
   | At_config { control; env; cont; store } ->
+      let b = scale_of_store store in
       let acc = make_acc () in
+      (* cell counts are populations, not charges: never scaled *)
+      let cell_bump key = bump acc.cells key 1 in
+      let bump tbl key dw = bump tbl key (b * dw) in
       let bindings : (string * Types.loc, unit) Hashtbl.t =
         Hashtbl.create 64
       in
@@ -433,10 +447,19 @@ let linked_census t ~peak =
         (fun l v ->
           let key = key_of_loc t l in
           bump acc.words key 1;
-          bump acc.cells key 1;
+          cell_bump key;
           add_value key v)
         store;
       Hashtbl.iter
         (fun (_, l) () -> bump acc.words (key_of_loc t l) 1)
         bindings;
-      Some (finish t acc ~measure:P.Linked ~peak)
+      Some (finish t acc ~measure ~peak)
+
+let linked_census t ~peak =
+  linked_like_census t t.linked_stash ~measure:P.Linked
+    ~scale_of_store:(fun _ -> 1)
+    ~peak
+
+let log_census t ~peak =
+  linked_like_census t t.log_stash ~measure:P.Log
+    ~scale_of_store:Space.pointer_bits ~peak

@@ -9,11 +9,13 @@
       live-word table;
     - {!rescan} re-derives that table from the survivor set at each
       reclaiming collection (the observer sees allocations only);
-    - {!stash_flat}/{!stash_linked} capture the exact configuration at
-      every strict peak increase (called at points where the store has
-      just been collected, so every cell is reachable).
+    - {!stash_flat}/{!stash_linked}/{!stash_log} capture the exact
+      configuration at every strict peak increase (called at points
+      where the store has just been collected, so every cell is
+      reachable).
 
-    After the run, {!flat_census} and {!linked_census} decompose the
+    After the run, {!flat_census}, {!linked_census} and {!log_census}
+    decompose the
     stashed peak configurations into per-site rows that sum {e exactly}
     to the telemetry peaks: the flat census telescopes the Figure 7 sum
     (store cells by allocation site, frames by pushing site, register
@@ -21,7 +23,9 @@
     edges and collapsed flamegraph stacks from a first-retainer-wins
     BFS; the linked census mirrors {!Space.linked_config_space} with
     each deduplicated (identifier, location) binding charged to the
-    site of the cell it names.
+    site of the cell it names; the log census is the linked
+    decomposition with every charge scaled by the stashed store's
+    {!Space.pointer_bits} (bit-units).
 
     Site ids come from the annotation pass ({!Annot.site_id}), so they
     are stable across engines; [-1] rows are synthetic machine
@@ -72,6 +76,9 @@ val stash_flat_final : t -> v:Types.value -> store:Store.t -> unit
 val stash_linked :
   t -> control:control -> env:Types.Env.t -> cont:Types.cont -> store:Store.t -> unit
 
+val stash_log :
+  t -> control:control -> env:Types.Env.t -> cont:Types.cont -> store:Store.t -> unit
+
 (** {1 Census assembly} *)
 
 val flat_census : t -> peak:int -> P.t option
@@ -81,3 +88,7 @@ val flat_census : t -> peak:int -> P.t option
 
 val linked_census : t -> peak:int -> P.t option
 (** Decompose the stashed linked-peak configuration; sums to [peak]. *)
+
+val log_census : t -> peak:int -> P.t option
+(** Decompose the stashed log-peak configuration into bit-unit rows;
+    sums to [peak]. *)

@@ -819,14 +819,23 @@ type outcome =
 type result = {
   outcome : outcome;
   steps : int;
-  peak_space : int;
-  peak_linked : int option;
+  peaks : (Space_model.t * int) list;
   program_size : int;
   gc_runs : int;
   output : string;
 }
 
-let space_consumption r = r.program_size + r.peak_space
+let peak_of r model =
+  List.find_map
+    (fun (m, p) -> if Space_model.equal m model then Some p else None)
+    r.peaks
+
+(* Flat is always measured (it drives the lazy-GC schedule), so the
+   flat accessor is total. *)
+let peak_space r = Option.value (peak_of r Space_model.Flat) ~default:0
+let peak_linked r = peak_of r Space_model.Linked
+let peak_log r = peak_of r Space_model.Log
+let space_consumption r = r.program_size + peak_space r
 
 (* A one-line description of a configuration, for tracing and for the
    telemetry ring buffer. With an annotation table the line names the
@@ -885,7 +894,7 @@ module Run_opts = struct
     fuel : int;
     budget : Resilience.Budget.t option;
     fault : Resilience.Fault.plan option;
-    measure_linked : bool;
+    measure : Space_model.t list;
     gc_policy : [ `Exact | `Approximate ];
     telemetry : Telemetry.t option;
     provenance : Census.t option;
@@ -896,20 +905,34 @@ module Run_opts = struct
       fuel = 20_000_000;
       budget = None;
       fault = None;
-      measure_linked = false;
+      measure = [ Space_model.Flat ];
       gc_policy = `Exact;
       telemetry = None;
       provenance = None;
     }
 
-  let make ?(fuel = default.fuel) ?budget ?fault
-      ?(measure_linked = default.measure_linked)
+  let make ?(fuel = default.fuel) ?budget ?fault ?(measure = default.measure)
       ?(gc_policy = default.gc_policy) ?telemetry ?provenance () =
-    { fuel; budget; fault; measure_linked; gc_policy; telemetry; provenance }
+    {
+      fuel;
+      budget;
+      fault;
+      measure = Space_model.normalize measure;
+      gc_policy;
+      telemetry;
+      provenance;
+    }
 end
 
-let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
+let run_measured ?(fuel = 20_000_000) ?budget ?fault
+    ?(measure = [ Space_model.Flat ])
     ?(gc_policy = `Exact) ?telemetry ?provenance ?on_step ?trace t expr =
+  let measure_models = Space_model.normalize measure in
+  let measure_linked = Space_model.mem Space_model.Linked measure_models in
+  let measure_log = Space_model.mem Space_model.Log measure_models in
+  (* The linked and log models are not tracked incrementally, so either
+     one forces a collection before every observation. *)
+  let measure_heavy = measure_linked || measure_log in
   (match t.annot with Some a -> Annot.record a expr | None -> ());
   Buffer.clear t.ctx.output;
   (match provenance with
@@ -931,6 +954,7 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
   let gc_runs = ref 0 in
   let peak = ref 0 in
   let peak_linked = ref 0 in
+  let peak_log = ref 0 in
   (* The step the machine is currently at, for the allocation observer
      and the collection events. *)
   let cur_step = ref 0 in
@@ -964,28 +988,43 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
       | None -> ()
     end
   in
-  let note_linked config =
-    let s =
+  (* Both heavy models share one dedup walk per observation: the log
+     charge is the linked unit count scaled by the pointer size, but the
+     two peaks are tracked independently — the pointer size grows with
+     the store, so the log peak can land on a different step. *)
+  let note_heavy config =
+    let u =
       Space.linked_config_space ~control:config.control ~env:config.env
         ~cont:config.cont ~store:config.store
     in
-    if s > !peak_linked then begin
-      peak_linked := s;
+    if measure_linked && u > !peak_linked then begin
+      peak_linked := u;
       match provenance with
       | Some c ->
           Census.stash_linked c ~control:config.control ~env:config.env
             ~cont:config.cont ~store:config.store
       | None -> ()
+    end;
+    if measure_log then begin
+      let s = Space.pointer_bits config.store * u in
+      if s > !peak_log then begin
+        peak_log := s;
+        match provenance with
+        | Some c ->
+            Census.stash_log c ~control:config.control ~env:config.env
+              ~cont:config.cont ~store:config.store
+        | None -> ()
+      end
     end
   in
   let measure config =
-    if measure_linked then begin
-      (* The linked model is not tracked incrementally, so the store
-         must be garbage collected before every observation. *)
+    if measure_heavy then begin
+      (* The linked and log models are not tracked incrementally, so the
+         store must be garbage collected before every observation. *)
       let config, reclaimed = collect config in
       record_gc Telemetry.Gc_linked config.store reclaimed;
       note_flat config;
-      note_linked config;
+      note_heavy config;
       config
     end
     else begin
@@ -1112,18 +1151,29 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
             | Some c -> Census.stash_flat_final c ~v ~store
             | None -> ()
           end;
-          if measure_linked then begin
-            let sl =
+          if measure_heavy then begin
+            let u =
               Space.linked_config_space ~control:(`Value v) ~env:Env.empty
                 ~cont:Halt ~store
             in
-            if sl > !peak_linked then begin
-              peak_linked := sl;
-              match provenance with
-              | Some c ->
-                  Census.stash_linked c ~control:(`Value v) ~env:Env.empty
-                    ~cont:Halt ~store
-              | None -> ()
+            (if measure_linked && u > !peak_linked then begin
+               peak_linked := u;
+               match provenance with
+               | Some c ->
+                   Census.stash_linked c ~control:(`Value v) ~env:Env.empty
+                     ~cont:Halt ~store
+               | None -> ()
+             end);
+            if measure_log then begin
+              let sl = Space.pointer_bits store * u in
+              if sl > !peak_log then begin
+                peak_log := sl;
+                match provenance with
+                | Some c ->
+                    Census.stash_log c ~control:(`Value v) ~env:Env.empty
+                      ~cont:Halt ~store
+                | None -> ()
+              end
             end
           end;
           (Done { value = v; store; answer = Answer.to_string store v }, steps + 1)
@@ -1162,6 +1212,7 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
       Telemetry.note_steps tl steps;
       Telemetry.note_peak tl !peak;
       if measure_linked then Telemetry.note_linked tl !peak_linked;
+      if measure_log then Telemetry.note_log tl !peak_log;
       (match outcome with
       | Stuck m -> Telemetry.record_stuck tl ~step:steps ~message:m
       | Done _ | Aborted _ -> ())
@@ -1169,12 +1220,33 @@ let run ?(fuel = 20_000_000) ?budget ?fault ?(measure_linked = false)
   {
     outcome;
     steps;
-    peak_space = !peak;
-    peak_linked = (if measure_linked then Some !peak_linked else None);
+    peaks =
+      List.filter_map
+        (fun m ->
+          match (m : Space_model.t) with
+          | Space_model.Flat -> Some (m, !peak)
+          | Space_model.Linked -> Some (m, !peak_linked)
+          | Space_model.Log -> Some (m, !peak_log))
+        measure_models;
     program_size = Ast.size expr;
     gc_runs = !gc_runs;
     output = Buffer.contents t.ctx.output;
   }
+
+(* The labelled-argument entry points below are the deprecated shims;
+   [exec]/[exec_program]/[exec_string] with [Run_opts] are current. The
+   boolean [measure_linked] knob maps onto the [Space_model] list. *)
+
+let measure_of_linked measure_linked =
+  if Option.value measure_linked ~default:false then
+    [ Space_model.Flat; Space_model.Linked ]
+  else [ Space_model.Flat ]
+
+let run ?fuel ?budget ?fault ?measure_linked ?gc_policy ?telemetry ?provenance
+    ?on_step ?trace t expr =
+  run_measured ?fuel ?budget ?fault
+    ~measure:(measure_of_linked measure_linked)
+    ?gc_policy ?telemetry ?provenance ?on_step ?trace t expr
 
 let run_program ?fuel ?budget ?fault ?measure_linked ?gc_policy ?telemetry
     ?on_step ?trace t ~program ~input =
@@ -1188,13 +1260,10 @@ let run_string ?fuel ?budget ?fault ?measure_linked ?gc_policy ?telemetry
     ?trace t
     (Expand.program_of_string source)
 
-(* The record-argument entry points; [run]/[run_program]/[run_string]
-   above are their deprecated labelled-argument shims. *)
-
 let exec ?(opts = Run_opts.default) t expr =
-  run ~fuel:opts.fuel ?budget:opts.budget ?fault:opts.fault
-    ~measure_linked:opts.measure_linked ~gc_policy:opts.gc_policy
-    ?telemetry:opts.telemetry ?provenance:opts.provenance t expr
+  run_measured ~fuel:opts.fuel ?budget:opts.budget ?fault:opts.fault
+    ~measure:opts.measure ~gc_policy:opts.gc_policy ?telemetry:opts.telemetry
+    ?provenance:opts.provenance t expr
 
 let exec_program ?opts t ~program ~input =
   exec ?opts t (Ast.Call (program, [ input ]))

@@ -176,19 +176,31 @@ type outcome =
 type result = {
   outcome : outcome;
   steps : int;
-  peak_space : int;
-      (** [sup space(C_i)] in the flat model (Figure 7), excluding the
-          [|P|] term *)
-  peak_linked : int option;
-      (** same in the linked model (Figure 8), when requested *)
+  peaks : (Space_model.t * int) list;
+      (** [sup space(C_i)] under every requested model, in canonical
+          model order, excluding the [|P|] term. [Flat] (Figure 7) is
+          always present; [Linked] (Figure 8) and [Log] (pointer-size
+          bits) appear when requested via [Run_opts.measure] *)
   program_size : int;  (** [|P|]: AST nodes of the expression run *)
   gc_runs : int;
   output : string;  (** whatever [display]/[write]/[newline] emitted *)
 }
 
+val peak_of : result -> Space_model.t -> int option
+(** The measured peak under a model, [None] when not requested. *)
+
+val peak_space : result -> int
+(** The flat-model peak — always measured, so total. *)
+
+val peak_linked : result -> int option
+(** [peak_of r Linked]: the linked-model peak, when requested. *)
+
+val peak_log : result -> int option
+(** [peak_of r Log]: the log-model peak in bit-units, when requested. *)
+
 val space_consumption : result -> int
 (** [|P| + peak]: Definition 23's [S_X(P, D)] for the executed
-    computation. *)
+    computation, in the flat model. *)
 
 val alloc_kind_of_value :
   Types.value -> Tailspace_telemetry.Telemetry.alloc_kind
@@ -214,9 +226,11 @@ module Run_opts : sig
             policy they cannot change the measured peak), an allocation
             that fails ([Aborted (Injected_fault _)]), and a mid-run
             fuel drop *)
-    measure_linked : bool;
-        (** additionally compute the linked-model peak, which forces a
-            collection at every step (slower) *)
+    measure : Space_model.t list;
+        (** the space-accounting models to measure (normalized: sorted,
+            deduplicated, always containing [Flat]). [Linked] or [Log]
+            force a collection at every step (slower); [Flat] alone uses
+            the lazy schedule governed by [gc_policy] *)
     gc_policy : [ `Exact | `Approximate ];
         (** [`Exact] (default) reports the true [sup space(C_i)];
             [`Approximate] lets tracked space overshoot the running peak
@@ -239,7 +253,8 @@ module Run_opts : sig
             {!Census.flat_census}/{!Census.linked_census} can decompose
             the measured peaks per site afterwards. Requires a machine
             built with [annotate = true] ([Invalid_argument] otherwise);
-            the linked stash additionally requires [measure_linked].
+            the linked and log stashes additionally require the
+            corresponding model in [measure].
             Sites are bookkeeping — answers, steps, and peaks are
             unchanged (the differential oracle checks the censuses sum
             to the peaks exactly) *)
@@ -251,13 +266,14 @@ module Run_opts : sig
     ?fuel:int ->
     ?budget:Tailspace_resilience.Resilience.Budget.t ->
     ?fault:Tailspace_resilience.Resilience.Fault.plan ->
-    ?measure_linked:bool ->
+    ?measure:Space_model.t list ->
     ?gc_policy:[ `Exact | `Approximate ] ->
     ?telemetry:Tailspace_telemetry.Telemetry.t ->
     ?provenance:Census.t ->
     unit ->
     t
-  (** {!default} with the given fields replaced. *)
+  (** {!default} with the given fields replaced. [measure] is
+      normalized (see {!Space_model.normalize}). *)
 end
 
 val exec : ?opts:Run_opts.t -> t -> Tailspace_ast.Ast.expr -> result

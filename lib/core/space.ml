@@ -60,3 +60,13 @@ let linked_config_space ~control ~env ~cont ~store =
       add_value acc v)
     store;
   acc.words + Hashtbl.length acc.bindings
+
+(* ceil(log2 n) for n >= 1; 0 for n <= 1. *)
+let ceil_log2 n =
+  let rec go b p = if p >= n then b else go (b + 1) (p * 2) in
+  if n <= 1 then 0 else go 0 1
+
+let pointer_bits store = max 1 (ceil_log2 (Store.cardinal store))
+
+let log_config_space ~control ~env ~cont ~store =
+  pointer_bits store * linked_config_space ~control ~env ~cont ~store

@@ -1,0 +1,47 @@
+module Json = Tailspace_telemetry.Telemetry.Json
+
+type t = Flat | Linked | Log
+
+let all = [ Flat; Linked; Log ]
+let rank = function Flat -> 0 | Linked -> 1 | Log -> 2
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+let name = function Flat -> "flat" | Linked -> "linked" | Log -> "log"
+
+let of_name = function
+  | "flat" -> Some Flat
+  | "linked" -> Some Linked
+  | "log" -> Some Log
+  | _ -> None
+
+let unit_name = function Flat | Linked -> "words" | Log -> "bits"
+let word_bits = 64
+let to_bits model x = match model with Flat | Linked -> x * word_bits | Log -> x
+let mem m ms = List.exists (equal m) ms
+
+let normalize ms =
+  List.filter (fun m -> mem m ms || equal m Flat) all
+
+let names ms = String.concat "+" (List.map name (normalize ms))
+let to_json m = Json.Str (name m)
+
+let of_json = function
+  | Json.Str s -> (
+      match of_name s with
+      | Some m -> Ok m
+      | None -> Error (Printf.sprintf "space_model: unknown model %S" s))
+  | _ -> Error "space_model: expected a string"
+
+let list_to_json ms = Json.List (List.map to_json (normalize ms))
+
+let list_of_json = function
+  | Json.List l ->
+      let rec go acc = function
+        | [] -> Ok (normalize (List.rev acc))
+        | j :: rest -> (
+            match of_json j with
+            | Ok m -> go (m :: acc) rest
+            | Error _ as e -> e)
+      in
+      go [] l
+  | _ -> Error "space_model: expected a list of model names"

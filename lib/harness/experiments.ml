@@ -1,4 +1,5 @@
 module Machine = Tailspace_core.Machine
+module Space_model = Tailspace_core.Space_model
 module Tail_calls = Tailspace_analysis.Tail_calls
 module Corpus = Tailspace_corpus.Corpus
 module Families = Tailspace_corpus.Families
@@ -20,10 +21,13 @@ let fit_or_none points =
 (* The bytecode VM implements only I_tail, so an [engine] selection
    applies to Tail-variant sweep points and leaves every other variant
    on the stepper — exactly the points where the tiers are
-   bit-compatible (oracle-checked), so tables are byte-identical. *)
+   bit-compatible (oracle-checked, [vm_invariant]), so tables are
+   byte-identical. With no explicit selection, Tail-variant points
+   default to the instrumented VM: same table, less wall-clock. *)
 let engine_for engine variant =
-  match engine with
-  | Some _ when variant = Machine.Tail -> engine
+  match (engine, variant) with
+  | Some _, Machine.Tail -> engine
+  | None, Machine.Tail -> Some Machine.Vm
   | _ -> None
 
 let variant_column variants = List.map Machine.variant_name variants
@@ -307,8 +311,13 @@ module Thm26 = struct
         (fun (n, program) ->
           let tail_m =
             Runner.run_once
-              ~opts:(Machine.Run_opts.make ?budget ~measure_linked:true ())
-              ~config:(Machine.Config.make ?engine ~variant:Machine.Tail ())
+              ~opts:
+                (Machine.Run_opts.make ?budget
+                   ~measure:[ Space_model.Flat; Space_model.Linked ] ())
+              ~config:
+                (Machine.Config.make
+                   ?engine:(engine_for engine Machine.Tail)
+                   ~variant:Machine.Tail ())
               ~program ~n ()
           in
           let sfs_m =
@@ -325,7 +334,9 @@ module Thm26 = struct
         (fun (n, tail_m, sfs_m) ->
           {
             n;
-            u_tail = Option.value ~default:0 tail_m.Runner.linked;
+            u_tail =
+              Option.value ~default:0
+                (Runner.consumption tail_m Space_model.Linked);
             s_tail = space_of tail_m;
             s_sfs = space_of sfs_m;
           })
@@ -338,7 +349,9 @@ module Thm26 = struct
       List.filter_map
         (fun (n, tail_m, _) ->
           if answered tail_m then
-            Option.map (fun l -> (n, l)) tail_m.Runner.linked
+            Option.map
+              (fun l -> (n, l))
+              (Runner.consumption tail_m Space_model.Linked)
           else None)
         measured
     in
@@ -543,7 +556,10 @@ module Cps = struct
     let tail =
       Runner.spaces
         (Runner.sweep ?pool ~opts
-           ~config:(Machine.Config.make ?engine ~variant:Machine.Tail ())
+           ~config:
+             (Machine.Config.make
+                ?engine:(engine_for engine Machine.Tail)
+                ~variant:Machine.Tail ())
            ~program ~ns ())
     in
     let gc =
@@ -846,6 +862,236 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+module LogHier = struct
+  (* Theorems 24/25/26 are stated for the flat and linked models; the
+     logarithmic model re-prices every linked unit at ceil(log2 |store|)
+     bits, a factor that itself grows with the live store. This
+     experiment re-runs each separation with all three models measured
+     and reports, per strict inclusion, whether the divergence survives
+     the re-pricing: a pointer-size factor of O(log S) cannot close a
+     polynomial gap, but it can (and does, on the N log N families)
+     shift where feasible-N divergence ratios land. *)
+
+  type pair = {
+    separation : string;  (** separator family name, "x/y" *)
+    flat_div : float;  (** divergence of S_x / S_y, smallest to largest N *)
+    log_div : float;  (** the same ratio-of-ratios under Log *)
+    survives : bool;  (** [log_div >= threshold] *)
+  }
+
+  type result = {
+    ns : int list;
+    pairs : pair list;
+    chain_rows : (string * bool) list;
+        (** Theorem 24's pointwise chain re-checked on Log consumption *)
+    pk_ns : int list;
+    thm26_flat_div : float;  (** S_sfs against U_tail on P_N (the paper's) *)
+    thm26_log_div : float;  (** S_sfs against Log_tail *)
+    thm26_survives : bool;
+  }
+
+  let threshold = 1.4
+  let default_ns = Thm25.default_ns
+
+  let divergence ns xs ys =
+    let ratio n =
+      match (List.assoc_opt n xs, List.assoc_opt n ys) with
+      | Some a, Some b when b > 0 -> Some (float_of_int a /. float_of_int b)
+      | _ -> None
+    in
+    match
+      (ratio (List.hd ns), ratio (List.nth ns (List.length ns - 1)))
+    with
+    | Some lo, Some hi when lo > 0. -> hi /. lo
+    | _ -> 0.
+
+  (* Each separator family with the pair of variants its strict
+     inclusion compares (Theorem 25's four adjacent separations). *)
+  let separations =
+    [
+      ("stack/gc", Machine.Stack, Machine.Gc);
+      ("gc/tail", Machine.Gc, Machine.Tail);
+      ("tail/evlis", Machine.Tail, Machine.Evlis);
+      ("evlis/sfs", Machine.Evlis, Machine.Sfs);
+    ]
+
+  let all_models = [ Space_model.Flat; Space_model.Linked; Space_model.Log ]
+
+  let run ?pool ?engine ?(ns = default_ns) ?budget () =
+    let opts = Machine.Run_opts.make ?budget ~measure:all_models () in
+    (* Only the two variants each inclusion compares are measured: the
+       per-step linked walk the heavy models force makes a full
+       six-variant sweep needlessly slow here. *)
+    let leaves =
+      List.concat_map
+        (fun (sep, x, y) ->
+          let program = expand (List.assoc sep Families.separators) in
+          List.concat_map
+            (fun variant -> List.map (fun n -> (sep, program, variant, n)) ns)
+            [ x; y ])
+        separations
+    in
+    let measured =
+      Pool.map ?pool
+        (fun (_, program, variant, n) ->
+          Runner.run_once ~opts
+            ~config:
+              (Machine.Config.make
+                 ?engine:(engine_for engine variant)
+                 ~variant ())
+            ~program ~n ())
+        leaves
+    in
+    let tagged = List.combine leaves measured in
+    let spaces_of model sep variant =
+      Runner.spaces_for model
+        (List.filter_map
+           (fun ((sep', _, v, _), m) ->
+             if String.equal sep' sep && v = variant then Some m else None)
+           tagged)
+    in
+    let pairs =
+      List.map
+        (fun (sep, x, y) ->
+          let div model =
+            divergence ns (spaces_of model sep x) (spaces_of model sep y)
+          in
+          let log_div = div Space_model.Log in
+          {
+            separation = sep;
+            flat_div = div Space_model.Flat;
+            log_div;
+            survives = log_div >= threshold;
+          })
+        separations
+    in
+    (* Theorem 24's chain, re-checked pointwise on Log consumption. It
+       is not implied by the flat chain: the pointer-size factor is a
+       function of each variant's own store, so two variants' log
+       figures are scaled by different factors. *)
+    let chain_entries =
+      List.filter_map
+        (fun name ->
+          match Corpus.find name with
+          | Some e -> (
+              match e.Corpus.checks with
+              | (n, _) :: _ -> Some (e.Corpus.name, n, Corpus.program e)
+              | [] -> None)
+          | None -> None)
+        [ "countdown"; "fib-iter"; "even-odd" ]
+    in
+    let chain_leaves =
+      List.concat_map
+        (fun (name, n, program) ->
+          List.map (fun v -> (name, n, program, v)) Machine.all_variants)
+        chain_entries
+    in
+    let chain_measured =
+      Pool.map ?pool
+        (fun (_, n, program, variant) ->
+          let m =
+            Runner.run_once ~opts
+              ~config:
+                (Machine.Config.make
+                   ?engine:(engine_for engine variant)
+                   ~variant ())
+              ~program ~n ()
+          in
+          Option.value ~default:0 (Runner.consumption m Space_model.Log))
+        chain_leaves
+    in
+    let chain_tagged = List.combine chain_leaves chain_measured in
+    let chain_rows =
+      List.map
+        (fun (name, _, _) ->
+          let s =
+            List.filter_map
+              (fun ((name', _, _, v), l) ->
+                if String.equal name' name then Some (v, l) else None)
+              chain_tagged
+          in
+          (name, Thm24.chain_holds s))
+        chain_entries
+    in
+    (* Theorem 26 on P_N: the paper separates flat S_sfs from linked
+       U_tail; under the log model the tail side is re-priced to
+       Log_tail (bit-units — the ratio-of-ratios cancels the unit). *)
+    let pk_ns = Thm26.default_ns in
+    let pk =
+      Pool.map ?pool
+        (fun (n, program) ->
+          let tail_m =
+            Runner.run_once ~opts
+              ~config:
+                (Machine.Config.make
+                   ?engine:(engine_for engine Machine.Tail)
+                   ~variant:Machine.Tail ())
+              ~program ~n ()
+          in
+          let sfs_m =
+            Runner.run_once ~opts
+              ~config:(Machine.Config.make ~variant:Machine.Sfs ())
+              ~program ~n ()
+          in
+          (tail_m, sfs_m))
+        (List.map (fun n -> (n, expand (Families.pk_program n))) pk_ns)
+    in
+    let tails = List.map fst pk and sfss = List.map snd pk in
+    let thm26_flat_div =
+      divergence pk_ns (Runner.spaces sfss)
+        (Runner.spaces_for Space_model.Linked tails)
+    in
+    let thm26_log_div =
+      divergence pk_ns (Runner.spaces sfss)
+        (Runner.spaces_for Space_model.Log tails)
+    in
+    {
+      ns;
+      pairs;
+      chain_rows;
+      pk_ns;
+      thm26_flat_div;
+      thm26_log_div;
+      thm26_survives = thm26_log_div >= threshold;
+    }
+
+  let render r =
+    let fmt = Printf.sprintf "%.2f" in
+    Table.section
+      "E10 / log model: the space hierarchy under pointer-size accounting"
+    ^ Table.render
+        ~header:[ "separation"; "flat div"; "log div"; "under Log" ]
+        (List.map
+           (fun p ->
+             [
+               p.separation;
+               fmt p.flat_div;
+               fmt p.log_div;
+               (if p.survives then "survives" else "COLLAPSES");
+             ])
+           r.pairs
+        @ [
+            [
+              "thm26 sfs(flat)/tail";
+              fmt r.thm26_flat_div;
+              fmt r.thm26_log_div;
+              (if r.thm26_survives then "survives" else "COLLAPSES");
+            ];
+          ])
+    ^ Printf.sprintf "Theorem 24 chain on Log consumption: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (name, ok) ->
+                Printf.sprintf "%s %s" name (if ok then "ok" else "VIOLATED"))
+              r.chain_rows))
+    ^ "div: ratio of S_x/S_y between the smallest and largest N (>= 1.4\n\
+       counts as divergence). Log re-prices every linked unit at\n\
+       ceil(log2 |store|) bits, so a polynomial separation survives while\n\
+       the factor only shifts the ratios.\n"
+end
+
+(* ------------------------------------------------------------------ *)
+
 (* [engine] selects the measuring engine where bit-compatibility
    suffices — the instrumented bytecode VM's Tail-variant step counts
    and peaks are identical to the stepper's (oracle-checked) — so the
@@ -863,4 +1109,5 @@ let render_all ?pool ?engine () =
       Cps.render (Cps.run ?pool ?engine ());
       Ablation.render (Ablation.run ?pool ?engine ());
       Sanity.render (Sanity.run ?pool ());
+      LogHier.render (LogHier.run ?pool ?engine ());
     ]

@@ -214,14 +214,62 @@ module Sanity : sig
   val render : result -> string
 end
 
+(** {1 E10 — the space hierarchy under the logarithmic model} *)
+module LogHier : sig
+  (** Re-runs the Theorem 24/25/26 separations with all three space
+      models measured and reports which strict inclusions survive
+      pointer-size (log) accounting — the [Space_model.Log] measure
+      re-prices every linked unit at [ceil(log2 |store|)] bits, a
+      factor that grows with the live store. *)
+
+  type pair = {
+    separation : string;  (** separator family name, ["x/y"] *)
+    flat_div : float;
+        (** divergence ratio of [S_x / S_y] between the smallest and
+            largest N *)
+    log_div : float;  (** the same ratio-of-ratios under [Log] *)
+    survives : bool;  (** [log_div >= threshold] *)
+  }
+
+  type result = {
+    ns : int list;
+    pairs : pair list;  (** Theorem 25's four adjacent separations *)
+    chain_rows : (string * bool) list;
+        (** Theorem 24's pointwise chain re-checked on Log consumption
+            per corpus program — not implied by the flat chain, since
+            each variant's figures are scaled by its own store's
+            pointer size *)
+    pk_ns : int list;
+    thm26_flat_div : float;
+        (** Theorem 26's own separation: [S_sfs] against [U_tail] on
+            [P_N] *)
+    thm26_log_div : float;  (** [S_sfs] against [Log_tail] *)
+    thm26_survives : bool;
+  }
+
+  val threshold : float
+  (** Minimum divergence ratio that counts as a separation (1.4, the
+      same bar Thm25's claims use). *)
+
+  val run :
+    ?pool:Pool.t ->
+    ?engine:Machine.engine ->
+    ?ns:int list ->
+    ?budget:Tailspace_resilience.Resilience.Budget.t ->
+    unit ->
+    result
+
+  val render : result -> string
+end
+
 val render_all : ?pool:Pool.t -> ?engine:Machine.engine -> unit -> string
 (** Every experiment's table, in order — the paper-reproduction report
     that [bench/main.exe] prints. [engine] selects the measuring engine
-    where bit-compatibility suffices (default [Stepper]): the
-    instrumented bytecode VM implements only [I_tail], so the selection
-    applies to Tail-variant sweep points — where its step counts and
-    peaks are identical to the stepper's (oracle-checked) — and every
-    other variant stays on the stepper, keeping the tables
-    byte-identical with only the wall-clock changing. E1 (static
-    analysis) and E9 (which compares implementations itself) ignore the
-    selection. *)
+    where bit-compatibility suffices: the instrumented bytecode VM
+    implements only [I_tail], so the selection applies to Tail-variant
+    sweep points — where its step counts and peaks are identical to the
+    stepper's (oracle-checked) — and every other variant stays on the
+    stepper, keeping the tables byte-identical with only the wall-clock
+    changing. With no explicit selection, Tail-variant points default
+    to the instrumented VM. E1 (static analysis) and E9 (which compares
+    implementations itself) ignore the selection. *)

@@ -1,4 +1,5 @@
 module Machine = Tailspace_core.Machine
+module Space_model = Tailspace_core.Space_model
 module Census = Tailspace_core.Census
 module Expand = Tailspace_expander.Expand
 module Corpus = Tailspace_corpus.Corpus
@@ -42,6 +43,8 @@ type report = {
   census_failures : string list;
   fixnum_invariant : bool;
   fixnum_failures : string list;
+  log_invariant : bool;
+  log_failures : string list;
   ok : bool;
 }
 
@@ -95,11 +98,11 @@ let check_point ~fuel ~family ~program ~n variant =
           | Runner.Answer a, Runner.Answer b -> String.equal a b
           | Runner.Stuck _, Runner.Stuck _ -> true
           | a, b -> a = b);
-        peak_stable = baseline.Runner.peak_space = m.Runner.peak_space;
+        peak_stable = Runner.peak_space baseline = Runner.peak_space m;
         baseline_status = status_text baseline;
         status = status_text m;
-        baseline_peak = baseline.Runner.peak_space;
-        peak = m.Runner.peak_space;
+        baseline_peak = Runner.peak_space baseline;
+        peak = Runner.peak_space m;
       })
     adversarial_plans
 
@@ -160,7 +163,7 @@ let annot_agreement ~fuel programs =
           in
           if
             String.equal (status_text on) (status_text off)
-            && on.Runner.peak_space = off.Runner.peak_space
+            && Runner.peak_space on = Runner.peak_space off
             && on.Runner.steps = off.Runner.steps
           then None
           else
@@ -170,8 +173,8 @@ let annot_agreement ~fuel programs =
                   steps=%d peak=%d"
                  family n
                  (Machine.variant_name variant)
-                 (status_text on) on.Runner.steps on.Runner.peak_space
-                 (status_text off) off.Runner.steps off.Runner.peak_space))
+                 (status_text on) on.Runner.steps (Runner.peak_space on)
+                 (status_text off) off.Runner.steps (Runner.peak_space off)))
         Machine.all_variants)
     programs
 
@@ -210,9 +213,9 @@ let vm_agreement ~fuel () =
           if inst.Runner.steps <> tail.Runner.steps then
             add "instrumented VM steps %d vs stepper %d" inst.Runner.steps
               tail.Runner.steps;
-          if inst.Runner.peak_space <> tail.Runner.peak_space then
-            add "instrumented VM peak %d vs stepper %d" inst.Runner.peak_space
-              tail.Runner.peak_space;
+          if Runner.peak_space inst <> Runner.peak_space tail then
+            add "instrumented VM peak %d vs stepper %d" (Runner.peak_space inst)
+              (Runner.peak_space tail);
           if inst.Runner.gc_runs <> tail.Runner.gc_runs then
             add "instrumented VM gc_runs %d vs stepper %d" inst.Runner.gc_runs
               tail.Runner.gc_runs;
@@ -246,21 +249,21 @@ let census_agreement ~fuel () =
   let censuses engine variant program n =
     let census = Census.create () in
     let opts =
-      Machine.Run_opts.make ~fuel ~measure_linked:true ~provenance:census ()
+      Machine.Run_opts.make ~fuel
+        ~measure:[ Space_model.Flat; Space_model.Linked; Space_model.Log ]
+        ~provenance:census ()
     in
     let m =
       Runner.run_once ~opts
         ~config:(Machine.Config.make ~engine ~variant ())
         ~program ~n ()
     in
-    (* [Runner] folds the program size into [space] and [linked]; the
-       census peaks are the raw machine figures. *)
-    let psize = m.Runner.space - m.Runner.peak_space in
-    let linked_peak =
-      match m.Runner.linked with Some l -> l - psize | None -> 0
-    in
-    ( Census.flat_census census ~peak:m.Runner.peak_space,
-      Census.linked_census census ~peak:linked_peak )
+    (* [Runner.consumption] folds the program size in; the census peaks
+       are the raw per-model machine figures. *)
+    let raw model = Option.value (Runner.peak_of m model) ~default:0 in
+    ( Census.flat_census census ~peak:(raw Space_model.Flat),
+      Census.linked_census census ~peak:(raw Space_model.Linked),
+      Census.log_census census ~peak:(raw Space_model.Log) )
   in
   let check_sums name variant (c : P.t option) what =
     match c with
@@ -287,12 +290,13 @@ let census_agreement ~fuel () =
           List.iter
             (fun variant ->
               let v = Machine.variant_name variant in
-              let flat, linked = censuses Machine.Stepper variant program n in
+              let flat, linked, log = censuses Machine.Stepper variant program n in
               check_sums name v flat "flat";
-              check_sums name v linked "linked")
+              check_sums name v linked "linked";
+              check_sums name v log "log")
             Machine.all_variants;
-          let sf, sl = censuses Machine.Stepper Machine.Tail program n in
-          let vf, vl = censuses Machine.Vm Machine.Tail program n in
+          let sf, sl, sg = censuses Machine.Stepper Machine.Tail program n in
+          let vf, vl, vg = censuses Machine.Vm Machine.Tail program n in
           let agree what a b =
             match (a, b) with
             | Some a, Some b ->
@@ -302,7 +306,8 @@ let census_agreement ~fuel () =
             | _ -> add "%s: %s census captured on one engine only" name what
           in
           agree "flat" sf vf;
-          agree "linked" sl vl)
+          agree "linked" sl vl;
+          agree "log" sg vg)
     [ "countdown"; "append" ];
   List.rev !fails
 
@@ -355,7 +360,7 @@ let fixnum_agreement ~fuel programs =
                 String.equal (status_text on) (status_text off)
                 && ((not accounted)
                    || on.Runner.steps = off.Runner.steps
-                      && on.Runner.peak_space = off.Runner.peak_space)
+                      && Runner.peak_space on = Runner.peak_space off)
               then None
               else
                 Some
@@ -365,10 +370,57 @@ let fixnum_agreement ~fuel programs =
                      family n
                      (Machine.engine_name engine)
                      (Machine.variant_name variant)
-                     (status_text on) on.Runner.steps on.Runner.peak_space
-                     (status_text off) off.Runner.steps off.Runner.peak_space))
+                     (status_text on) on.Runner.steps (Runner.peak_space on)
+                     (status_text off) off.Runner.steps (Runner.peak_space off)))
             engines)
         programs)
+
+(* The logarithmic model charges every linked unit at the pointer size
+   of the measured store, so three pointwise bounds tie the models
+   together at every configuration and therefore at the peaks:
+   [U_X <= S_X] (the §13 dedup argument), [U_X <= Log_X] (a pointer is
+   at least one bit), and [Log_X <= 64·S_X] (pointer size never exceeds
+   the machine word). The oracle re-measures every default program on
+   all six variants under all three models and checks the laws; on
+   [Tail] it additionally demands the instrumented VM report a peaks
+   list bit-identical to the stepper's. *)
+let log_agreement ~fuel programs =
+  let measure = [ Space_model.Flat; Space_model.Linked; Space_model.Log ] in
+  let fails = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+  List.iter
+    (fun (family, program, n) ->
+      let point engine variant =
+        Runner.run_once
+          ~opts:(Machine.Run_opts.make ~fuel ~measure ())
+          ~config:(Machine.Config.make ~engine ~variant ())
+          ~program ~n ()
+      in
+      List.iter
+        (fun variant ->
+          let v = Machine.variant_name variant in
+          let m = point Machine.Stepper variant in
+          let s = Runner.peak_space m in
+          match (Runner.peak_linked m, Runner.peak_log m) with
+          | Some u, Some l ->
+              if u > s then
+                add "%s n=%d %s: linked peak %d exceeds flat peak %d" family n
+                  v u s;
+              if l < u then
+                add "%s n=%d %s: log peak %d below linked peak %d" family n v
+                  l u;
+              if l > Space_model.word_bits * s then
+                add "%s n=%d %s: log peak %d exceeds %d * flat peak %d" family
+                  n v l Space_model.word_bits s
+          | _ -> add "%s n=%d %s: linked/log peaks not measured" family n v)
+        Machine.all_variants;
+      let tail = point Machine.Stepper Machine.Tail in
+      let inst = point Machine.Vm Machine.Tail in
+      if tail.Runner.peaks <> inst.Runner.peaks then
+        add "%s n=%d: instrumented VM peaks differ from Tail stepper's" family
+          n)
+    programs;
+  List.rev !fails
 
 let run ?(fuel = 2_000_000) ?programs () =
   let programs =
@@ -392,9 +444,11 @@ let run ?(fuel = 2_000_000) ?programs () =
   let census_invariant = census_failures = [] in
   let fixnum_failures = fixnum_agreement ~fuel programs in
   let fixnum_invariant = fixnum_failures = [] in
+  let log_failures = log_agreement ~fuel programs in
+  let log_invariant = log_failures = [] in
   let ok =
     cross_variant_agree && algol_stuck_on_demand && annot_invariant
-    && vm_invariant && census_invariant && fixnum_invariant
+    && vm_invariant && census_invariant && fixnum_invariant && log_invariant
     && List.for_all (fun c -> c.answer_agrees && c.peak_stable) checks
   in
   {
@@ -409,6 +463,8 @@ let run ?(fuel = 2_000_000) ?programs () =
     census_failures;
     fixnum_invariant;
     fixnum_failures;
+    log_invariant;
+    log_failures;
     ok;
   }
 
@@ -421,14 +477,16 @@ let render r =
     (Printf.sprintf
        "differential oracle: %d checks, cross-variant agreement %s, algol \
         dangling-pointer stuck state %s, annotation invariance %s, bytecode \
-        VM agreement %s, census invariance %s, fixnum invariance %s\n"
+        VM agreement %s, census invariance %s, fixnum invariance %s, \
+        log-model laws %s\n"
        (List.length r.checks)
        (if r.cross_variant_agree then "ok" else "FAILED")
        (if r.algol_stuck_on_demand then "reachable" else "NOT REACHABLE")
        (if r.annot_invariant then "ok" else "FAILED")
        (if r.vm_invariant then "ok" else "FAILED")
        (if r.census_invariant then "ok" else "FAILED")
-       (if r.fixnum_invariant then "ok" else "FAILED"));
+       (if r.fixnum_invariant then "ok" else "FAILED")
+       (if r.log_invariant then "ok" else "FAILED"));
   List.iter
     (fun f -> Buffer.add_string buf (Printf.sprintf "ANNOT MISMATCH %s\n" f))
     r.annot_failures;
@@ -441,6 +499,9 @@ let render r =
   List.iter
     (fun f -> Buffer.add_string buf (Printf.sprintf "FIXNUM MISMATCH %s\n" f))
     r.fixnum_failures;
+  List.iter
+    (fun f -> Buffer.add_string buf (Printf.sprintf "LOG MISMATCH %s\n" f))
+    r.log_failures;
   (match failures r with
   | [] -> Buffer.add_string buf "all adversarial schedules agree with baseline\n"
   | fs ->
@@ -488,6 +549,8 @@ let to_json r =
       ("fixnum_invariant", Json.Bool r.fixnum_invariant);
       ( "fixnum_failures",
         Json.List (List.map (fun s -> Json.Str s) r.fixnum_failures) );
+      ("log_invariant", Json.Bool r.log_invariant);
+      ("log_failures", Json.List (List.map (fun s -> Json.Str s) r.log_failures));
       ("checks", Json.Int (List.length r.checks));
       ("failures", Json.List (List.map check_to_json (failures r)));
     ]

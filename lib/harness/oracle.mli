@@ -54,7 +54,7 @@ type report = {
       (** human-readable description of each VM disagreement *)
   census_invariant : bool;
       (** heap censuses are sound: per-site live words sum exactly to
-          the measured peak under both the flat and linked measures on
+          the measured peak under the flat, linked, and log measures on
           all six variants, flamegraph stacks partition the flat peak,
           and the stepper and instrumented VM produce identical
           censuses (modulo display labels) *)
@@ -69,6 +69,14 @@ type report = {
           space charge is a function of magnitude, not representation *)
   fixnum_failures : string list;
       (** human-readable description of each fixnum disagreement *)
+  log_invariant : bool;
+      (** the three space models obey their pointwise scaling laws at
+          the peaks on every (program, variant):
+          [linked <= flat], [linked <= log], and
+          [log <= word_bits * flat]; and on [Tail] the instrumented
+          VM's per-model peaks list is bit-identical to the stepper's *)
+  log_failures : string list;
+      (** human-readable description of each log-model violation *)
   ok : bool;
 }
 
@@ -95,4 +103,5 @@ val to_json : report -> Json.t
 (** [{"ok", "cross_variant_agree", "algol_stuck_on_demand",
     "annot_invariant", "annot_failures", "vm_invariant", "vm_failures",
     "census_invariant", "census_failures", "fixnum_invariant",
-    "fixnum_failures", "checks", "failures"}]. *)
+    "fixnum_failures", "log_invariant", "log_failures", "checks",
+    "failures"}]. *)

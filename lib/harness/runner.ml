@@ -1,4 +1,5 @@
 module Machine = Tailspace_core.Machine
+module Space_model = Tailspace_core.Space_model
 module Ast = Tailspace_ast.Ast
 module Bignum = Tailspace_bignum.Bignum
 module Telemetry = Tailspace_telemetry.Telemetry
@@ -16,13 +17,37 @@ type status =
 type measurement = {
   n : int;
   space : int;
-  linked : int option;
+  peaks : (Space_model.t * int) list;
   steps : int;
   status : status;
   gc_runs : int;
-  peak_space : int;
   summary : Telemetry.summary option;
 }
+
+let peak_of m model =
+  List.find_map
+    (fun (mm, p) -> if Space_model.equal mm model then Some p else None)
+    m.peaks
+
+let peak_space m = Option.value (peak_of m Space_model.Flat) ~default:0
+let peak_linked m = peak_of m Space_model.Linked
+let peak_log m = peak_of m Space_model.Log
+
+(* The per-model space-consumption headline, Definition 23 style: the
+   raw peak plus the [|P|] program term in the model's own unit — one
+   word per AST node for the word models, [word_bits] bits per node for
+   the log model. *)
+let consumption m model =
+  let psize = m.space - peak_space m in
+  match (model : Space_model.t) with
+  | Space_model.Flat -> (
+      match peak_of m Space_model.Flat with
+      | Some _ -> Some m.space
+      | None -> None)
+  | Space_model.Linked -> Option.map (fun p -> p + psize) (peak_linked m)
+  | Space_model.Log ->
+      Option.map (fun p -> p + (Space_model.word_bits * psize)) (peak_log m)
+
 
 let input_expr n = Ast.Quote (Ast.C_int (Bignum.of_int n))
 
@@ -46,12 +71,10 @@ let measure_with machine ?(opts = Machine.Run_opts.default)
   {
     n;
     space = Machine.space_consumption r;
-    linked =
-      Option.map (fun l -> l + r.Machine.program_size) r.Machine.peak_linked;
+    peaks = r.Machine.peaks;
     steps = r.Machine.steps;
     status;
     gc_runs = r.Machine.gc_runs;
-    peak_space = r.Machine.peak_space;
     summary =
       (if collect_telemetry then Option.map Telemetry.summary telemetry
        else None);
@@ -77,12 +100,11 @@ let measure_vm config ?(opts = Machine.Run_opts.default)
   in
   {
     n;
-    space = r.Vm.program_size + r.Vm.peak_space;
-    linked = Option.map (fun l -> l + r.Vm.program_size) r.Vm.peak_linked;
+    space = r.Vm.program_size + Vm.peak_space r;
+    peaks = r.Vm.peaks;
     steps = r.Vm.steps;
     status;
     gc_runs = r.Vm.gc_runs;
-    peak_space = r.Vm.peak_space;
     summary =
       (if collect_telemetry then Option.map Telemetry.summary telemetry
        else None);
@@ -141,16 +163,37 @@ let status_of_json json =
       | None -> Error "status: missing field \"reason\"")
   | k -> Error (Printf.sprintf "status: unknown kind %S" k)
 
+(* Unmeasured models are *omitted* from the peaks object — never
+   emitted as null — so partial supervised sweeps degrade gracefully
+   on re-read instead of tripping a strict decoder. *)
+let peaks_to_json peaks =
+  Json.Obj
+    (List.map (fun (m, p) -> (Space_model.name m, Json.Int p)) peaks)
+
+let peaks_of_json json =
+  match json with
+  | Json.Obj fields ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (name, Json.Int p) :: rest -> (
+            match Space_model.of_name name with
+            | Some m -> go ((m, p) :: acc) rest
+            | None -> Error (Printf.sprintf "peaks: unknown model %S" name))
+        | (name, _) :: _ ->
+            Error (Printf.sprintf "peaks: field %S must be an integer" name)
+      in
+      go [] fields
+  | _ -> Error "peaks: expected an object"
+
 let measurement_to_json m =
   Json.Obj
     [
       ("n", Json.Int m.n);
       ("space", Json.Int m.space);
-      ("linked", match m.linked with Some l -> Json.Int l | None -> Json.Null);
+      ("peaks", peaks_to_json m.peaks);
       ("steps", Json.Int m.steps);
       ("status", status_to_json m.status);
       ("gc_runs", Json.Int m.gc_runs);
-      ("peak_space", Json.Int m.peak_space);
       ( "summary",
         match m.summary with
         | Some s -> Telemetry.summary_to_json s
@@ -162,9 +205,10 @@ let measurement_of_json json =
   let* space = int_field "space" json in
   let* steps = int_field "steps" json in
   let* gc_runs = int_field "gc_runs" json in
-  let* peak_space = int_field "peak_space" json in
-  let linked =
-    match Json.member "linked" json with Some (Json.Int l) -> Some l | _ -> None
+  let* peaks =
+    match Json.member "peaks" json with
+    | Some p -> peaks_of_json p
+    | None -> Ok []
   in
   let* status =
     match Json.member "status" json with
@@ -176,7 +220,7 @@ let measurement_of_json json =
     | Some Json.Null | None -> Ok None
     | Some s -> Result.map Option.some (Telemetry.summary_of_json s)
   in
-  Ok { n; space; linked; steps; status; gc_runs; peak_space; summary }
+  Ok { n; space; peaks; steps; status; gc_runs; summary }
 
 (* {2 Cache keys}
 
@@ -192,9 +236,11 @@ let point_key ~source ?(opts = Machine.Run_opts.default)
   let opt f = function Some v -> f v | None -> "default" in
   Cache.key
     ([
-       (* v3: the key gained the [engine] field inside the serialized
-          config; old v2 entries (which never carried it) are dead. *)
-       "tailspace-measurement-v3";
+       (* v4: [measure_linked : bool] became the [Space_model] list and
+          the measurement codec grew the per-model [peaks] object; old
+          v3 entries (boolean key part, [linked]/[peak_space] fields)
+          simply miss and recompute. *)
+       "tailspace-measurement-v4";
        source;
        (* The machine part of the key is the canonical serialized
           config, so anything that can change a machine's behavior —
@@ -207,7 +253,7 @@ let point_key ~source ?(opts = Machine.Run_opts.default)
        opt
          (fun f -> Json.to_string (Resilience.Fault.to_json f))
          opts.Machine.Run_opts.fault;
-       string_of_bool opts.Machine.Run_opts.measure_linked;
+       Space_model.names opts.Machine.Run_opts.measure;
        (match opts.Machine.Run_opts.gc_policy with
        | `Exact -> "exact"
        | `Approximate -> "approximate");
@@ -280,11 +326,10 @@ let crashed_measurement n message =
   {
     n;
     space = 0;
-    linked = None;
+    peaks = [];
     steps = 0;
     status = Aborted (Resilience.Crashed message);
     gc_runs = 0;
-    peak_space = 0;
     summary = None;
   }
 
@@ -393,13 +438,20 @@ let spaces ms =
     (fun m -> match m.status with Answer _ -> Some (m.n, m.space) | _ -> None)
     ms
 
-let linked_spaces ms =
+(* Per-model selector: answered points where the model was actually
+   measured; anything else is omitted, so a sweep whose points were
+   measured under different model lists (e.g. a supervised sweep with
+   crashed points) degrades to the points that have the data. *)
+let spaces_for model ms =
   List.filter_map
     (fun m ->
-      match (m.status, m.linked) with
-      | Answer _, Some l -> Some (m.n, l)
+      match (m.status, consumption m model) with
+      | Answer _, Some c -> Some (m.n, c)
       | _ -> None)
     ms
+
+let linked_spaces ms = spaces_for Space_model.Linked ms
+let log_spaces ms = spaces_for Space_model.Log ms
 
 let all_answered ms =
   List.for_all (fun m -> match m.status with Answer _ -> true | _ -> false) ms

@@ -2,6 +2,7 @@
     collect Definition 23's space consumption. *)
 
 module Machine = Tailspace_core.Machine
+module Space_model = Tailspace_core.Space_model
 module Telemetry = Tailspace_telemetry.Telemetry
 module Resilience = Tailspace_resilience.Resilience
 module Pool = Tailspace_parallel.Pool
@@ -17,14 +18,34 @@ type status =
 type measurement = {
   n : int;
   space : int;  (** [S_X(P, N)] = [|P|] + peak, flat model *)
-  linked : int option;  (** [U_X(P, N)] when requested *)
+  peaks : (Space_model.t * int) list;
+      (** measured peak per requested model (without the [|P|] term),
+          in {!Space_model.all} order; models that were not requested
+          for this point are simply absent *)
   steps : int;
   status : status;
   gc_runs : int;  (** collections that actually freed something *)
-  peak_space : int;  (** the peak alone, without the [|P|] term *)
   summary : Telemetry.summary option;
       (** full telemetry summary when [collect_telemetry] was set *)
 }
+
+val peak_of : measurement -> Space_model.t -> int option
+(** The measured peak under one model, [None] when it was not
+    requested for this point. *)
+
+val peak_space : measurement -> int
+(** The flat peak alone, without the [|P|] term ([0] on the fast VM
+    tier, which compiles accounting out). *)
+
+val peak_linked : measurement -> int option
+val peak_log : measurement -> int option
+
+val consumption : measurement -> Space_model.t -> int option
+(** Definition 23's consumption under one model, program term included:
+    [Flat] gives [space] itself; [Linked] gives [U_X] = linked peak +
+    [|P|]; [Log] gives the log peak + [64·|P|] (the static program is
+    charged at full machine words). [None] when the model was not
+    measured. *)
 
 val input_expr : int -> Tailspace_ast.Ast.expr
 (** [(quote N)]. *)
@@ -78,8 +99,9 @@ val sweep :
     already measured under the same configuration are replayed from the
     cache and only the misses run; the cache is touched only from the
     calling domain. Cache keys embed the canonical
-    {!Machine.Config.to_json} serialization (version tag
-    [tailspace-measurement-v2]), so any knob that can change a
+    {!Machine.Config.to_json} serialization and the canonical
+    {!Space_model.names} of the requested measure list (version tag
+    [tailspace-measurement-v4]), so any knob that can change a
     measurement — including the annotation toggle — is keyed. *)
 
 (** {1 The crash-proof sweep supervisor}
@@ -141,6 +163,16 @@ val sweep_supervised :
 val spaces : measurement list -> (int * int) list
 (** [(n, space)] pairs of the successful measurements. *)
 
+val spaces_for : Space_model.t -> measurement list -> (int * int) list
+(** [(n, consumption)] pairs of the successful measurements under one
+    model. Points that did not measure the model are omitted (not
+    errors): a partially-measured supervised sweep degrades to the
+    points that have the data. *)
+
 val linked_spaces : measurement list -> (int * int) list
+(** [spaces_for Linked]. *)
+
+val log_spaces : measurement list -> (int * int) list
+(** [spaces_for Log]. *)
 
 val all_answered : measurement list -> bool

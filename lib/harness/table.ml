@@ -50,29 +50,36 @@ let measurements ms =
     | Runner.Stuck _ -> "stuck"
     | Runner.Aborted r -> Runner.Resilience.abort_reason_name r
   in
-  let has_linked =
-    List.exists (fun (m : Runner.measurement) -> m.Runner.linked <> None) ms
+  (* A model gets a column if *any* point measured it; points that did
+     not (mixed sweeps, crashed points) render "-" rather than failing. *)
+  let module SM = Tailspace_core.Space_model in
+  let has model =
+    List.exists
+      (fun (m : Runner.measurement) -> Runner.consumption m model <> None)
+      ms
+  in
+  let has_linked = has SM.Linked and has_log = has SM.Log in
+  let model_cell m model =
+    match Runner.consumption m model with
+    | Some c -> string_of_int c
+    | None -> "-"
   in
   let header =
     [ "n"; "S=|P|+peak"; "peak"; "gc-runs"; "steps" ]
     @ (if has_linked then [ "U (linked)" ] else [])
+    @ (if has_log then [ "L (log bits)" ] else [])
     @ [ "answer" ]
   in
   let row (m : Runner.measurement) =
     [
       string_of_int m.Runner.n;
       string_of_int m.Runner.space;
-      string_of_int m.Runner.peak_space;
+      string_of_int (Runner.peak_space m);
       string_of_int m.Runner.gc_runs;
       string_of_int m.Runner.steps;
     ]
-    @ (if has_linked then
-         [
-           (match m.Runner.linked with
-           | Some u -> string_of_int u
-           | None -> "-");
-         ]
-       else [])
+    @ (if has_linked then [ model_cell m SM.Linked ] else [])
+    @ (if has_log then [ model_cell m SM.Log ] else [])
     @ [ status_text m ]
   in
   render ~header (List.map row ms)
@@ -93,7 +100,7 @@ let supervised (s : Runner.supervised) =
     [
       string_of_int m.Runner.n;
       string_of_int m.Runner.space;
-      string_of_int m.Runner.peak_space;
+      string_of_int (Runner.peak_space m);
       string_of_int m.Runner.steps;
       string_of_int p.Runner.attempts;
       status;

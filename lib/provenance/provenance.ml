@@ -48,9 +48,9 @@ let phase_name = function
 let phase_of_name s =
   List.find_opt (fun p -> String.equal (phase_name p) s) all_phases
 
-type measure = Flat | Linked
+type measure = Flat | Linked | Log
 
-let measure_name = function Flat -> "flat" | Linked -> "linked"
+let measure_name = function Flat -> "flat" | Linked -> "linked" | Log -> "log"
 
 type row = {
   site : int;

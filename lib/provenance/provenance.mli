@@ -37,9 +37,11 @@ val all_phases : phase list
 val phase_name : phase -> string
 val phase_of_name : string -> phase option
 
-type measure = Flat | Linked
+type measure = Flat | Linked | Log
 
 val measure_name : measure -> string
+(** ["flat"], ["linked"], ["log"]. [Log] rows are in bit-units (every
+    linked charge scaled by the pointer size of the measured store). *)
 
 type row = {
   site : int;

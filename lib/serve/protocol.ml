@@ -1,5 +1,6 @@
 module Json = Tailspace_telemetry.Telemetry.Json
 module M = Tailspace_core.Machine
+module SM = Tailspace_core.Space_model
 module Res = Tailspace_resilience.Resilience
 
 (* ------------------------------------------------------------------ *)
@@ -186,6 +187,7 @@ type request = {
   work : work option;
   probe : [ `Health | `Stats ] option;
   config : M.Config.t;
+  measure : SM.t list;
   budget : Res.Budget.t;
 }
 
@@ -252,6 +254,19 @@ let request_of_json json =
         | None | Some Json.Null -> Ok Res.Budget.unlimited
         | Some b -> Res.Budget.of_json b
       in
+      let* measure =
+        match member "measure" with
+        | None | Some Json.Null -> Ok [ SM.Flat ]
+        | Some j -> (
+            match SM.list_of_json j with
+            | Ok ms -> Ok ms
+            | Error e -> Error ("request: " ^ e))
+      in
+      let* () =
+        if engine = M.Vm_fast && measure <> [ SM.Flat ] then
+          Error "request: the vm-fast engine measures only the flat model"
+        else Ok ()
+      in
       let config =
         M.Config.make ~variant ~engine ~stack_policy ()
       in
@@ -260,12 +275,33 @@ let request_of_json json =
         | Some (Json.Str s) -> Ok s
         | _ -> Error (Printf.sprintf "request: %S needs a \"program\" string" name)
       in
-      let mk work = Ok { id; tenant; work = Some work; probe = None; config; budget } in
+      let mk work =
+        Ok
+          { id; tenant; work = Some work; probe = None; config; measure; budget }
+      in
       (match op with
       | "health" ->
-          Ok { id; tenant; work = None; probe = Some `Health; config; budget }
+          Ok
+            {
+              id;
+              tenant;
+              work = None;
+              probe = Some `Health;
+              config;
+              measure;
+              budget;
+            }
       | "stats" ->
-          Ok { id; tenant; work = None; probe = Some `Stats; config; budget }
+          Ok
+            {
+              id;
+              tenant;
+              work = None;
+              probe = Some `Stats;
+              config;
+              measure;
+              budget;
+            }
       | "evaluate" ->
           let* program = program_req "evaluate" in
           let* n = int_opt "n" in
@@ -309,6 +345,9 @@ let request_to_json r =
       ( "stack_policy",
         Json.Str (M.Config.stack_policy_name r.config.M.Config.stack_policy) );
     ]
+    @ (match SM.normalize r.measure with
+      | [ SM.Flat ] -> []
+      | ms -> [ ("measure", SM.list_to_json ms) ])
     @
     if Res.Budget.is_unlimited r.budget then []
     else [ ("budget", Res.Budget.to_json r.budget) ]

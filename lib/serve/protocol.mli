@@ -10,6 +10,7 @@
 
 module Json := Tailspace_telemetry.Telemetry.Json
 module M := Tailspace_core.Machine
+module SM := Tailspace_core.Space_model
 module Res := Tailspace_resilience.Resilience
 
 (** {1 Endpoints} *)
@@ -80,13 +81,18 @@ type request = {
   work : work option;  (** [None] for health/stats *)
   probe : [ `Health | `Stats ] option;
   config : M.Config.t;  (** variant/policy knobs the request selected *)
+  measure : SM.t list;
+      (** space models to measure, from the request's ["measure"]
+          name list (normalized); default [[Flat]] *)
   budget : Res.Budget.t;  (** client ask — the server clamps it *)
 }
 
 val request_of_json : Json.t -> (request, string) result
-(** Validates shape, op, variant/engine names, and budget fields.
-    Unknown engines/variants and malformed fields are [Error] — the
-    daemon answers these with a status-2 response. *)
+(** Validates shape, op, variant/engine names, measure-model names, and
+    budget fields. Unknown engines/variants/models and malformed fields
+    are [Error] — the daemon answers these with a status-2 response.
+    The vm-fast engine combined with any model beyond [Flat] is
+    rejected (that tier compiles accounting out). *)
 
 val request_to_json : request -> Json.t
 (** Inverse (used by the load generator and tests). *)

@@ -3,6 +3,7 @@ module Tel = Tailspace_telemetry.Telemetry
 module Res = Tailspace_resilience.Resilience
 module Pool = Tailspace_parallel.Pool
 module M = Tailspace_core.Machine
+module SM = Tailspace_core.Space_model
 module R = Tailspace_harness.Runner
 module Census = Tailspace_core.Census
 module Expand = Tailspace_expander.Expand
@@ -72,6 +73,7 @@ type job = {
   j_tenant : string;
   j_work : Protocol.work;
   j_config : M.Config.t;
+  j_measure : SM.t list;
   j_budget : Res.Budget.t;
 }
 
@@ -169,14 +171,26 @@ let policy_budget p =
   Res.Budget.make ~fuel:p.max_fuel ~timeout_s:p.max_timeout_s
     ~space_words:p.max_space_words ~output_bytes:p.max_output_bytes ()
 
+(* Per-model figures live under "peaks" (raw peaks) and
+   "space_consumption_by_model" (|P| folded in, per Definition 23);
+   models the point did not measure are omitted from both objects, not
+   emitted as null, so partially-measured sweeps degrade cleanly on the
+   client. The flat headline fields stay for compatibility. *)
 let measurement_fields (m : R.measurement) =
+  let by_model f =
+    Json.Obj
+      (List.filter_map
+         (fun model ->
+           Option.map (fun v -> (SM.name model, Json.Int v)) (f model))
+         SM.all)
+  in
   [
     ("steps", Json.Int m.R.steps);
     ("space_consumption", Json.Int m.R.space);
-    ("peak_space", Json.Int m.R.peak_space);
+    ("peak_space", Json.Int (R.peak_space m));
     ("gc_runs", Json.Int m.R.gc_runs);
-    ( "linked_space_consumption",
-      match m.R.linked with Some u -> Json.Int u | None -> Json.Null );
+    ("peaks", by_model (R.peak_of m));
+    ("space_consumption_by_model", by_model (R.consumption m));
   ]
 
 let status_of_measurement (m : R.measurement) =
@@ -230,7 +244,7 @@ let parse_program source =
 let eval_work t job =
   let policy = t.cfg.policy in
   let budget = Res.Budget.clamp ~limit:(policy_budget policy) job.j_budget in
-  let opts = M.Run_opts.make ~budget () in
+  let opts = M.Run_opts.make ~budget ~measure:job.j_measure () in
   match job.j_work with
   | Protocol.Evaluate { program; n } -> (
       match parse_program program with
@@ -252,7 +266,9 @@ let eval_work t job =
       | Error m -> Protocol.error_response ~id:job.j_id m
       | Ok program ->
           let census = Census.create () in
-          let opts = M.Run_opts.make ~budget ~provenance:census () in
+          let opts =
+            M.Run_opts.make ~budget ~measure:job.j_measure ~provenance:census ()
+          in
           let m =
             R.run_once ~opts ~collect_telemetry:true ~config:job.j_config
               ~program ~n ()
@@ -261,7 +277,7 @@ let eval_work t job =
           Tel.Counters.incr t.counters (outcome_counter_key m);
           let status, outcome, fields = status_of_measurement m in
           let census_json =
-            match Census.flat_census census ~peak:m.R.peak_space with
+            match Census.flat_census census ~peak:(R.peak_space m) with
             | Some c -> Prov.to_json c
             | None -> Json.Null
           in
@@ -430,6 +446,7 @@ let handle_request t conn json =
               j_tenant = tenant;
               j_work = work;
               j_config = req.Protocol.config;
+              j_measure = req.Protocol.measure;
               j_budget = req.Protocol.budget;
             }
           in

@@ -435,6 +435,7 @@ type t = {
   mutable store_hwm : int;
   mutable peak_space : int;
   mutable peak_linked : int;  (* -1 = unmeasured *)
+  mutable peak_log : int;  (* -1 = unmeasured *)
   mutable stuck : string option;
   sink : sink option;
   config_sink : (int -> string -> unit) option;
@@ -458,6 +459,7 @@ let create ?sink ?config_sink ?(ring = 0) ?profile () =
     store_hwm = 0;
     peak_space = 0;
     peak_linked = -1;
+    peak_log = -1;
     stuck = None;
     sink;
     config_sink;
@@ -525,6 +527,8 @@ let note_linked t space =
   if space > t.peak_linked then t.peak_linked <- space
 
 let note_peak_linked t = if t.peak_linked < 0 then None else Some t.peak_linked
+let note_log t space = if space > t.peak_log then t.peak_log <- space
+let note_peak_log t = if t.peak_log < 0 then None else Some t.peak_log
 let steps t = t.steps
 let gc_runs t = t.gc_runs
 let alloc_count t kind = t.allocs.(kind_index kind)
@@ -551,6 +555,7 @@ type summary = {
   store_hwm : int;
   peak_space : int;
   peak_linked : int option;
+  peak_log : int option;
   stuck : string option;
 }
 
@@ -572,6 +577,7 @@ let summary (t : t) : summary =
     store_hwm = t.store_hwm;
     peak_space = t.peak_space;
     peak_linked = note_peak_linked t;
+    peak_log = note_peak_log t;
     stuck = t.stuck;
   }
 
@@ -588,6 +594,7 @@ let empty_summary : summary =
     store_hwm = 0;
     peak_space = 0;
     peak_linked = None;
+    peak_log = None;
     stuck = None;
   }
 
@@ -614,6 +621,10 @@ let merge_summaries summaries =
       peak_space = Stdlib.max acc.peak_space s.peak_space;
       peak_linked =
         (match (acc.peak_linked, s.peak_linked) with
+        | Some a, Some b -> Some (Stdlib.max a b)
+        | (Some _ as p), None | None, p -> p);
+      peak_log =
+        (match (acc.peak_log, s.peak_log) with
         | Some a, Some b -> Some (Stdlib.max a b)
         | (Some _ as p), None | None, p -> p);
       stuck = (match acc.stuck with Some _ -> acc.stuck | None -> s.stuck);
@@ -649,6 +660,7 @@ let summary_to_json (s : summary) : Json.t =
       ("peak_space", Int s.peak_space);
       ( "peak_linked",
         match s.peak_linked with Some p -> Int p | None -> Null );
+      ("peak_log", match s.peak_log with Some p -> Int p | None -> Null);
       ("stuck", match s.stuck with Some m -> Str m | None -> Null);
     ]
 
@@ -673,6 +685,12 @@ let summary_of_json json =
     | Some Json.Null | None -> Ok None
     | Some (Json.Int i) -> Ok (Some i)
     | Some _ -> Error "summary: bad peak_linked"
+  in
+  let* peak_log =
+    match Json.member "peak_log" json with
+    | Some Json.Null | None -> Ok None
+    | Some (Json.Int i) -> Ok (Some i)
+    | Some _ -> Error "summary: bad peak_log"
   in
   let* stuck =
     match Json.member "stuck" json with
@@ -706,6 +724,7 @@ let summary_of_json json =
       store_hwm;
       peak_space;
       peak_linked;
+      peak_log;
       stuck;
     }
 

@@ -166,6 +166,8 @@ val note_steps : t -> int -> unit
 val note_peak : t -> int -> unit
 val note_linked : t -> int -> unit
 val note_peak_linked : t -> int option
+val note_log : t -> int -> unit
+val note_peak_log : t -> int option
 
 (** {2 Reading} *)
 
@@ -194,6 +196,7 @@ type summary = {
   store_hwm : int;  (** store-size high-water mark, in cells *)
   peak_space : int;  (** flat model *)
   peak_linked : int option;  (** linked model, when measured *)
+  peak_log : int option;  (** log model (bit-units), when measured *)
   stuck : string option;
 }
 
@@ -204,8 +207,8 @@ val merge_summaries : summary list -> summary
     each measured on its own worker) into a fleet view: counters
     ([steps], [gc_runs], [gc_freed], per-kind [allocations],
     [alloc_words], [cont_pushes], [cont_pops]) sum; high-water marks
-    ([max_cont_depth], [store_hwm], [peak_space], [peak_linked]) take
-    the maximum, with [peak_linked] [None] only when unmeasured
+    ([max_cont_depth], [store_hwm], [peak_space], [peak_linked],
+    [peak_log]) take the maximum, with the optional peaks [None] only when unmeasured
     everywhere; [stuck] keeps the first [Some] in list order. The empty
     list merges to the all-zero summary. *)
 

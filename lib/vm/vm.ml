@@ -10,6 +10,7 @@ module Store = Tailspace_core.Store
 module Prim = Tailspace_core.Prim
 module Gc = Tailspace_core.Gc
 module Space = Tailspace_core.Space
+module Space_model = Tailspace_core.Space_model
 module Answer = Tailspace_core.Answer
 module Annot = Tailspace_analysis.Annot
 module Telemetry = Tailspace_telemetry.Telemetry
@@ -25,12 +26,20 @@ type outcome =
 type result = {
   outcome : outcome;
   steps : int;
-  peak_space : int;
-  peak_linked : int option;
+  peaks : (Space_model.t * int) list;
   program_size : int;
   gc_runs : int;
   output : string;
 }
+
+let peak_of r model =
+  List.find_map
+    (fun (m, p) -> if Space_model.equal m model then Some p else None)
+    r.peaks
+
+let peak_space r = Option.value (peak_of r Space_model.Flat) ~default:0
+let peak_linked r = peak_of r Space_model.Linked
+let peak_log r = peak_of r Space_model.Log
 
 (* ================================================================== *)
 (* The fast tier: flat bytecode over an untracked value domain.        *)
@@ -1085,8 +1094,7 @@ let fast_result ~outcome ~steps ~psize ~output =
   {
     outcome;
     steps;
-    peak_space = 0;
-    peak_linked = None;
+    peaks = [ (Space_model.Flat, 0) ];
     program_size = psize;
     gc_runs = 0;
     output;
@@ -1490,7 +1498,12 @@ module Measured = struct
       }
     in
     let fuel = opts.Machine.Run_opts.fuel in
-    let measure_linked = opts.Machine.Run_opts.measure_linked in
+    let measure_models =
+      Space_model.normalize opts.Machine.Run_opts.measure
+    in
+    let measure_linked = Space_model.mem Space_model.Linked measure_models in
+    let measure_log = Space_model.mem Space_model.Log measure_models in
+    let measure_heavy = measure_linked || measure_log in
     let gc_policy = opts.Machine.Run_opts.gc_policy in
     let telemetry = opts.Machine.Run_opts.telemetry in
     Buffer.clear m.ctx.Prim.output;
@@ -1506,6 +1519,7 @@ module Measured = struct
     let gc_runs = ref 0 in
     let peak = ref 0 in
     let peak_linked = ref 0 in
+    let peak_log = ref 0 in
     let cur_step = ref 0 in
     let record_gc reason store reclaimed =
       if reclaimed > 0 then begin
@@ -1531,26 +1545,37 @@ module Measured = struct
         | None -> ()
       end
     in
-    let note_linked config =
-      let s =
+    let note_heavy config =
+      let u =
         Space.linked_config_space ~control:config.control ~env:config.env
           ~cont:config.cont ~store:config.store
       in
-      if s > !peak_linked then begin
-        peak_linked := s;
+      if measure_linked && u > !peak_linked then begin
+        peak_linked := u;
         match provenance with
         | Some c ->
             Census.stash_linked c ~control:config.control ~env:config.env
               ~cont:config.cont ~store:config.store
         | None -> ()
+      end;
+      if measure_log then begin
+        let s = Space.pointer_bits config.store * u in
+        if s > !peak_log then begin
+          peak_log := s;
+          match provenance with
+          | Some c ->
+              Census.stash_log c ~control:config.control ~env:config.env
+                ~cont:config.cont ~store:config.store
+          | None -> ()
+        end
       end
     in
     let measure config =
-      if measure_linked then begin
+      if measure_heavy then begin
         let config, reclaimed = collect config in
         record_gc Telemetry.Gc_linked config.store reclaimed;
         note_flat config;
-        note_linked config;
+        note_heavy config;
         config
       end
       else begin
@@ -1633,18 +1658,29 @@ module Measured = struct
                     | Some c -> Census.stash_flat_final c ~v ~store
                     | None -> ()
                   end;
-                  if measure_linked then begin
-                    let sl =
+                  if measure_heavy then begin
+                    let u =
                       Space.linked_config_space ~control:(`Value v)
                         ~env:Env.empty ~cont:Halt ~store
                     in
-                    if sl > !peak_linked then begin
-                      peak_linked := sl;
-                      match provenance with
-                      | Some c ->
-                          Census.stash_linked c ~control:(`Value v)
-                            ~env:Env.empty ~cont:Halt ~store
-                      | None -> ()
+                    (if measure_linked && u > !peak_linked then begin
+                       peak_linked := u;
+                       match provenance with
+                       | Some c ->
+                           Census.stash_linked c ~control:(`Value v)
+                             ~env:Env.empty ~cont:Halt ~store
+                       | None -> ()
+                     end);
+                    if measure_log then begin
+                      let sl = Space.pointer_bits store * u in
+                      if sl > !peak_log then begin
+                        peak_log := sl;
+                        match provenance with
+                        | Some c ->
+                            Census.stash_log c ~control:(`Value v)
+                              ~env:Env.empty ~cont:Halt ~store
+                        | None -> ()
+                      end
                     end
                   end;
                   ( Done (Answer.to_string store v),
@@ -1683,6 +1719,7 @@ module Measured = struct
         Telemetry.note_steps tl steps;
         Telemetry.note_peak tl !peak;
         if measure_linked then Telemetry.note_linked tl !peak_linked;
+        if measure_log then Telemetry.note_log tl !peak_log;
         (match outcome with
         | Stuck msg -> Telemetry.record_stuck tl ~step:steps ~message:msg
         | Done _ | Aborted _ -> ())
@@ -1690,8 +1727,14 @@ module Measured = struct
     {
       outcome;
       steps;
-      peak_space = !peak;
-      peak_linked = (if measure_linked then Some !peak_linked else None);
+      peaks =
+        List.filter_map
+          (fun model ->
+            match (model : Space_model.t) with
+            | Space_model.Flat -> Some (model, !peak)
+            | Space_model.Linked -> Some (model, !peak_linked)
+            | Space_model.Log -> Some (model, !peak_log))
+          measure_models;
       program_size = Ast.size expr;
       gc_runs = !gc_runs;
       output = Buffer.contents m.ctx.Prim.output;
@@ -1714,9 +1757,12 @@ let exec_program ?(opts = Machine.Run_opts.default) (cfg : Machine.Config.t)
         invalid_arg "Vm: the fast VM tier supports only the Tail variant";
       if cfg.Machine.Config.perm <> Machine.Left_to_right then
         invalid_arg "Vm: the fast VM tier evaluates left-to-right only";
-      if opts.Machine.Run_opts.measure_linked then
-        invalid_arg
-          "Vm: linked-space measurement requires the instrumented tier";
+      (match Space_model.normalize opts.Machine.Run_opts.measure with
+      | [ Space_model.Flat ] -> ()
+      | _ ->
+          invalid_arg
+            "Vm: linked- and log-space measurement requires the instrumented \
+             tier");
       if Option.is_some opts.Machine.Run_opts.provenance then
         invalid_arg "Vm: the provenance census requires the instrumented tier";
       (match opts.Machine.Run_opts.fault with

@@ -47,12 +47,19 @@ type result = {
   steps : int;
       (** instrumented: machine transitions, identical to the stepper's
           count; fast: executed instructions *)
-  peak_space : int;  (** Definition 21 peak; [0] in fast mode *)
-  peak_linked : int option;
+  peaks : (Tailspace_core.Space_model.t * int) list;
+      (** Definition 21 peaks per requested model, identical to the
+          stepper's; fast mode reports [[(Flat, 0)]] (accounting is
+          compiled out) *)
   program_size : int;  (** [|P|], the [Ast.size] of the executed term *)
   gc_runs : int;  (** [0] in fast mode *)
   output : string;
 }
+
+val peak_of : result -> Tailspace_core.Space_model.t -> int option
+val peak_space : result -> int
+val peak_linked : result -> int option
+val peak_log : result -> int option
 
 val exec_program :
   ?opts:Machine.Run_opts.t ->
@@ -66,8 +73,8 @@ val exec_program :
     @raise Invalid_argument if [config.engine = Vm] and
     [config.variant <> Tail]; or if [config.engine = Vm_fast] and the
     config/opts demand accounting the fast tier compiles out
-    ([variant <> Tail], a non-left-to-right [perm], [measure_linked],
-    or a fault plan). *)
+    ([variant <> Tail], a non-left-to-right [perm], a [measure] list
+    beyond [[Flat]], a provenance census, or a fault plan). *)
 
 (** {1 The fast tier's code, exposed for tests and disassembly} *)
 

@@ -143,13 +143,20 @@ let test_gc_does_not_change_answers () =
       let t = M.create_with M.Config.default in
       let lazy_r = M.exec_string t src in
       let eager_r =
-        M.exec_string ~opts:(M.Run_opts.make ~measure_linked:true ()) t src
+        M.exec_string
+          ~opts:
+            (M.Run_opts.make
+               ~measure:
+                 [ Tailspace_core.Space_model.Flat;
+                   Tailspace_core.Space_model.Linked ]
+               ())
+          t src
       in
       match (lazy_r.M.outcome, eager_r.M.outcome) with
       | M.Done { answer = a1; _ }, M.Done { answer = a2; _ } ->
           Alcotest.(check string) "answers agree" a1 a2;
-          Alcotest.(check int) "flat peaks agree" lazy_r.M.peak_space
-            eager_r.M.peak_space
+          Alcotest.(check int) "flat peaks agree" (M.peak_space lazy_r)
+            (M.peak_space eager_r)
       | _ -> Alcotest.fail "expected Done")
     [
       "(define (f n) (if (zero? n) 'ok (f (- n 1)))) (f 40)";

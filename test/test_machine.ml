@@ -165,7 +165,7 @@ let test_approximate_gc_bound () =
       M.exec_string ~opts:(M.Run_opts.make ~gc_policy:policy ()) t src
     in
     match r.M.outcome with
-    | M.Done _ -> r.M.peak_space
+    | M.Done _ -> M.peak_space r
     | _ -> Alcotest.fail "build run failed"
   in
   let exact = peak `Exact and approx = peak `Approximate in
@@ -282,7 +282,7 @@ module Legacy_shims = struct
     Alcotest.(check bool) "hook per step" true (!steps_seen >= r.M.steps);
     Alcotest.(check bool)
       "profile sees the peak" true
-      (!max_space >= r.M.peak_space);
+      (!max_space >= M.peak_space r);
     Alcotest.(check bool)
       "trace nonempty" true
       (List.length !traced >= r.M.steps);

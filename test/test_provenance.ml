@@ -2,9 +2,10 @@
    countdown and append families on I_tail vs I_stack (exact word
    counts pinned — the census is deterministic), plus the QCheck
    invariant that per-site live words sum exactly to the measured peak
-   under both the flat and linked measures. *)
+   under the flat, linked, and log measures. *)
 
 module M = Tailspace_core.Machine
+module SM = Tailspace_core.Space_model
 module Census = Tailspace_core.Census
 module P = Tailspace_provenance.Provenance
 module R = Tailspace_harness.Runner
@@ -15,26 +16,32 @@ let corpus_program name =
   | Some e -> Corpus.program e
   | None -> Alcotest.failf "corpus entry %S missing" name
 
-(* One profiled run: the censuses and the raw peaks they must sum to.
-   [peak_space] is the raw flat peak; the linked measurement folds |P|
-   in and must shed it. *)
+(* One profiled run: the censuses and the raw per-model peaks they
+   must sum to — the measurement's [peaks] carry the store peaks with
+   no |P| term, exactly what the censuses decompose. *)
+let all_models = [ SM.Flat; SM.Linked; SM.Log ]
+
 let profile ?(engine = M.Stepper) ~variant name n =
   let program = corpus_program name in
   let census = Census.create () in
   let opts =
-    M.Run_opts.make ~fuel:2_000_000 ~measure_linked:true ~provenance:census ()
+    M.Run_opts.make ~fuel:2_000_000 ~measure:all_models ~provenance:census ()
   in
   let m =
     R.run_once ~opts ~config:(M.Config.make ~engine ~variant ()) ~program ~n ()
   in
-  let psize = m.R.space - m.R.peak_space in
-  let flat = Census.flat_census census ~peak:m.R.peak_space in
+  let flat = Census.flat_census census ~peak:(R.peak_space m) in
   let linked =
-    match m.R.linked with
-    | Some l -> Census.linked_census census ~peak:(l - psize)
+    match R.peak_linked m with
+    | Some u -> Census.linked_census census ~peak:u
     | None -> None
   in
-  (m, flat, linked)
+  let log =
+    match R.peak_log m with
+    | Some l -> Census.log_census census ~peak:l
+    | None -> None
+  in
+  (m, flat, linked, log)
 
 let rows_of (c : P.t) =
   List.map (fun (r : P.row) -> (r.P.site, P.phase_name r.P.phase, r.P.words)) c.P.rows
@@ -50,7 +57,7 @@ let check_census what expected = function
 (* --- golden censuses ---------------------------------------------- *)
 
 let test_golden_countdown_tail () =
-  let _, flat, linked = profile ~variant:M.Tail "countdown" 10 in
+  let _, flat, linked, log = profile ~variant:M.Tail "countdown" 10 in
   check_census "countdown/tail flat"
     [
       (-1, "globals", 2793);
@@ -76,10 +83,22 @@ let test_golden_countdown_tail () =
       (546, "closure", 2);
       (-1, "halt", 1);
     ]
-    linked
+    linked;
+  check_census "countdown/tail log"
+    [
+      (-1, "globals", 2856);
+      (552, "rib", 56);
+      (-1, "control", 40);
+      (543, "frame", 24);
+      (550, "rib", 24);
+      (544, "frame", 16);
+      (546, "closure", 16);
+      (-1, "halt", 8);
+    ]
+    log
 
 let test_golden_countdown_stack () =
-  let _, flat, linked = profile ~variant:M.Stack "countdown" 10 in
+  let _, flat, linked, _ = profile ~variant:M.Stack "countdown" 10 in
   check_census "countdown/stack flat"
     [
       (-1, "globals", 2793);
@@ -112,7 +131,7 @@ let test_golden_countdown_stack () =
     linked
 
 let test_golden_append_tail () =
-  let _, flat, _ = profile ~variant:M.Tail "append" 6 in
+  let _, flat, _, log = profile ~variant:M.Tail "append" 6 in
   check_census "append/tail flat"
     [
       (-1, "globals", 2793);
@@ -137,10 +156,33 @@ let test_golden_append_tail () =
       (585, "rib", 2);
       (-1, "halt", 1);
     ]
-    flat
+    flat;
+  check_census "append/tail log"
+    [
+      (-1, "globals", 2856);
+      (580, "rib", 464);
+      (561, "bignum", 416);
+      (561, "pair", 320);
+      (581, "frame", 144);
+      (543, "rib", 80);
+      (587, "rib", 72);
+      (589, "rib", 48);
+      (561, "atom", 32);
+      (565, "rib", 24);
+      (585, "rib", 24);
+      (544, "frame", 16);
+      (545, "closure", 16);
+      (563, "closure", 16);
+      (569, "frame", 16);
+      (583, "closure", 16);
+      (-1, "control", 8);
+      (-1, "halt", 8);
+      (582, "frame", 8);
+    ]
+    log
 
 let test_golden_append_stack () =
-  let _, flat, _ = profile ~variant:M.Stack "append" 6 in
+  let _, flat, _, _ = profile ~variant:M.Stack "append" 6 in
   check_census "append/stack flat"
     [
       (-1, "globals", 2793);
@@ -174,8 +216,8 @@ let test_golden_append_stack () =
    the recursive call sites; diffing I_tail against I_stack must
    surface frame rows that only I_stack carries. *)
 let test_diff_surfaces_stack_frames () =
-  let _, fa, _ = profile ~variant:M.Tail "append" 6 in
-  let _, fb, _ = profile ~variant:M.Stack "append" 6 in
+  let _, fa, _, _ = profile ~variant:M.Tail "append" 6 in
+  let _, fb, _, _ = profile ~variant:M.Stack "append" 6 in
   match (fa, fb) with
   | Some ca, Some cb ->
       let deltas = P.diff ca cb in
@@ -202,14 +244,15 @@ let test_diff_surfaces_stack_frames () =
 let test_vm_census_agrees () =
   List.iter
     (fun (name, n) ->
-      let _, sf, sl = profile ~engine:M.Stepper ~variant:M.Tail name n in
-      let _, vf, vl = profile ~engine:M.Vm ~variant:M.Tail name n in
+      let _, sf, sl, sg = profile ~engine:M.Stepper ~variant:M.Tail name n in
+      let _, vf, vl, vg = profile ~engine:M.Vm ~variant:M.Tail name n in
       let strip = function
         | Some c -> P.Json.to_string (P.to_json ~with_labels:false c)
         | None -> "<none>"
       in
       Alcotest.(check string) (name ^ ": flat") (strip sf) (strip vf);
-      Alcotest.(check string) (name ^ ": linked") (strip sl) (strip vl))
+      Alcotest.(check string) (name ^ ": linked") (strip sl) (strip vl);
+      Alcotest.(check string) (name ^ ": log") (strip sg) (strip vg))
     [ ("countdown", 10); ("append", 6) ]
 
 (* --- the sum-to-total invariant, property-checked ------------------ *)
@@ -219,7 +262,7 @@ let fast_entries =
   |> List.filter (fun (e : Corpus.entry) -> (not e.Corpus.slow) && e.Corpus.checks <> [])
 
 let prop_census_sums_to_peak =
-  QCheck.Test.make ~count:40 ~name:"census sums to measured peak (both measures)"
+  QCheck.Test.make ~count:40 ~name:"census sums to measured peak (all measures)"
     QCheck.(
       triple
         (int_bound (List.length fast_entries - 1))
@@ -230,7 +273,7 @@ let prop_census_sums_to_peak =
       let variant = List.nth M.all_variants vi in
       let census = Census.create () in
       let opts =
-        M.Run_opts.make ~fuel:2_000_000 ~measure_linked:true
+        M.Run_opts.make ~fuel:2_000_000 ~measure:all_models
           ~provenance:census ()
       in
       let m =
@@ -238,27 +281,28 @@ let prop_census_sums_to_peak =
           ~config:(M.Config.make ~variant ())
           ~program:(Corpus.program e) ~n ()
       in
-      let psize = m.R.space - m.R.peak_space in
       let flat_ok =
-        match Census.flat_census census ~peak:m.R.peak_space with
+        match Census.flat_census census ~peak:(R.peak_space m) with
         | None -> m.R.steps = 0
         | Some c ->
             P.total c = c.P.peak
-            && c.P.peak = m.R.peak_space
+            && c.P.peak = R.peak_space m
             && List.fold_left
                  (fun a (s : P.stack) -> a + s.P.swords)
                  0 c.P.stacks
                = c.P.peak
       in
-      let linked_ok =
-        match m.R.linked with
+      let heavy_ok census_of peak_of =
+        match peak_of m with
         | None -> false
-        | Some l -> (
-            match Census.linked_census census ~peak:(l - psize) with
+        | Some p -> (
+            match census_of census ~peak:p with
             | None -> m.R.steps = 0
-            | Some c -> P.total c = c.P.peak && c.P.peak = l - psize)
+            | Some c -> P.total c = c.P.peak && c.P.peak = p)
       in
-      flat_ok && linked_ok)
+      flat_ok
+      && heavy_ok Census.linked_census R.peak_linked
+      && heavy_ok Census.log_census R.peak_log)
 
 let () =
   Alcotest.run "provenance"

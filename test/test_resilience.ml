@@ -99,7 +99,7 @@ let test_forced_gc_invariance () =
           | _ -> Alcotest.fail "both runs should answer");
           Alcotest.(check int)
             (M.variant_name variant ^ " exact peak under forced gc")
-            base.R.peak_space m.R.peak_space)
+            (R.peak_space base) (R.peak_space m))
         [
           Res.Fault.make ~gc_every:1 ();
           Res.Fault.make ~gc_every:7 ();

@@ -6,6 +6,7 @@ module T = Tailspace_core.Types
 module Env = Tailspace_core.Types.Env
 module Store = Tailspace_core.Store
 module Space = Tailspace_core.Space
+module SM = Tailspace_core.Space_model
 module M = Tailspace_core.Machine
 module A = Tailspace_ast.Ast
 module B = Tailspace_bignum.Bignum
@@ -139,14 +140,16 @@ let test_linked_leq_flat_on_runs () =
     (fun (variant, src) ->
       let t = M.create_with (M.Config.make ~variant ()) in
       let r =
-        M.exec_string ~opts:(M.Run_opts.make ~measure_linked:true ()) t src
+        M.exec_string
+          ~opts:(M.Run_opts.make ~measure:[ SM.Flat; SM.Linked ] ())
+          t src
       in
-      match (r.M.outcome, r.M.peak_linked) with
+      match (r.M.outcome, M.peak_linked r) with
       | M.Done _, Some u ->
           Alcotest.(check bool)
             (M.variant_name variant ^ " U <= S")
             true
-            (u <= r.M.peak_space)
+            (u <= M.peak_space r)
       | _ -> Alcotest.fail "expected measured Done")
     [
       (M.Tail, "(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 30)");
@@ -195,7 +198,7 @@ let test_space_consumption_includes_program_size () =
   let e = E.expression_of_string "(+ 1 2)" in
   let r = M.exec t e in
   Alcotest.(check int) "|P|" (A.size e) r.M.program_size;
-  Alcotest.(check int) "S = |P| + peak" (r.M.program_size + r.M.peak_space)
+  Alcotest.(check int) "S = |P| + peak" (r.M.program_size + M.peak_space r)
     (M.space_consumption r)
 
 let test_proper_tail_recursion_constant_space () =
@@ -227,10 +230,10 @@ let test_exact_vs_approximate_policy () =
     M.exec_string ~opts:(M.Run_opts.make ~gc_policy:`Approximate ()) t src
   in
   Alcotest.(check bool) "approx is a lower bound" true
-    (approx.M.peak_space <= exact.M.peak_space);
+    (M.peak_space approx <= M.peak_space exact);
   Alcotest.(check bool) "within documented slack" true
-    (float_of_int exact.M.peak_space
-    <= (1.125 *. float_of_int approx.M.peak_space) +. 200.)
+    (float_of_int (M.peak_space exact)
+    <= (1.125 *. float_of_int (M.peak_space approx)) +. 200.)
 
 let () =
   Alcotest.run "space"

@@ -1,0 +1,187 @@
+(* The space-model vocabulary type and the cross-model laws.
+
+   - Unit: name/of_name and JSON codecs round-trip, [normalize] is
+     canonical and always includes Flat, [names] is the stable cache
+     key, [to_bits] scales words to bits.
+   - QCheck: on random (corpus entry, variant, input) the measured raw
+     peaks obey the pointwise model laws — [U <= S] (deduplication
+     only removes words), [Log >= U] (a pointer costs at least one
+     bit), and [Log <= word_bits * S] (a pointer never costs more than
+     a word).
+   - Shims: the deprecated [Machine.run*] entry points are exact
+     wrappers over [exec*] with [Run_opts] — same outcome, steps, and
+     peaks list. The waiver module below is the only place in the tree
+     allowed to call them: everywhere else warning 3 (deprecated) is
+     fatal, which is the compile-time audit that no in-tree caller is
+     left on the old API. *)
+
+module SM = Tailspace_core.Space_model
+module M = Tailspace_core.Machine
+module R = Tailspace_harness.Runner
+module Corpus = Tailspace_corpus.Corpus
+
+let model_t =
+  Alcotest.testable
+    (fun ppf m -> Format.pp_print_string ppf (SM.name m))
+    SM.equal
+
+(* --- vocabulary ---------------------------------------------------- *)
+
+let test_names_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check (option model_t))
+        (SM.name m ^ " round-trips") (Some m)
+        (SM.of_name (SM.name m)))
+    SM.all;
+  Alcotest.(check (option model_t)) "unknown name" None (SM.of_name "phlat")
+
+let test_normalize () =
+  Alcotest.(check (list model_t)) "empty means flat" [ SM.Flat ]
+    (SM.normalize []);
+  Alcotest.(check (list model_t))
+    "sorted, deduplicated, flat added"
+    [ SM.Flat; SM.Linked; SM.Log ]
+    (SM.normalize [ SM.Log; SM.Linked; SM.Log ]);
+  Alcotest.(check string) "cache key" "flat+linked+log"
+    (SM.names [ SM.Log; SM.Linked ]);
+  Alcotest.(check string) "flat-only cache key" "flat" (SM.names [])
+
+let test_to_bits () =
+  Alcotest.(check int) "flat words scale" (3 * SM.word_bits)
+    (SM.to_bits SM.Flat 3);
+  Alcotest.(check int) "linked words scale" (5 * SM.word_bits)
+    (SM.to_bits SM.Linked 5);
+  Alcotest.(check int) "log already in bits" 7 (SM.to_bits SM.Log 7)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun m ->
+      match SM.of_json (SM.to_json m) with
+      | Ok m' -> Alcotest.check model_t (SM.name m ^ " json") m m'
+      | Error e -> Alcotest.failf "%s: %s" (SM.name m) e)
+    SM.all;
+  (match SM.list_of_json (SM.list_to_json [ SM.Log ]) with
+  | Ok ms ->
+      Alcotest.(check (list model_t))
+        "list json normalizes" [ SM.Flat; SM.Log ] ms
+  | Error e -> Alcotest.fail e);
+  match SM.list_of_json (Tailspace_telemetry.Telemetry.Json.Str "log") with
+  | Ok _ -> Alcotest.fail "a bare string is not a model list"
+  | Error _ -> ()
+
+(* --- the pointwise laws, property-checked -------------------------- *)
+
+let fast_entries =
+  Corpus.all
+  |> List.filter (fun (e : Corpus.entry) ->
+         (not e.Corpus.slow) && e.Corpus.checks <> [])
+
+let prop_model_laws =
+  QCheck.Test.make ~count:60
+    ~name:"peak laws: U <= S, U <= Log <= word_bits * S"
+    QCheck.(
+      triple
+        (int_bound (List.length fast_entries - 1))
+        (int_bound (List.length M.all_variants - 1))
+        (int_range 1 8))
+    (fun (ei, vi, n) ->
+      let e = List.nth fast_entries ei in
+      let variant = List.nth M.all_variants vi in
+      let opts =
+        M.Run_opts.make ~fuel:2_000_000
+          ~measure:[ SM.Flat; SM.Linked; SM.Log ]
+          ()
+      in
+      let m =
+        R.run_once ~opts
+          ~config:(M.Config.make ~variant ())
+          ~program:(Corpus.program e) ~n ()
+      in
+      match (R.peak_linked m, R.peak_log m) with
+      | Some u, Some l ->
+          let s = R.peak_space m in
+          u <= s && u <= l && l <= SM.word_bits * s
+      | _ -> false)
+
+(* --- the deprecated shims ------------------------------------------ *)
+
+(* The one sanctioned call site of the old API (see the header note). *)
+module Old_api = struct
+  [@@@warning "-3"]
+
+  let run_string ?measure_linked t src = M.run_string ?measure_linked t src
+
+  let run_program ?measure_linked t ~program ~input =
+    M.run_program ?measure_linked t ~program ~input
+end
+
+let check_same what (old_r : M.result) (new_r : M.result) =
+  (let outcome = function
+     | M.Done { answer; _ } -> "done:" ^ answer
+     | M.Stuck m -> "stuck:" ^ m
+     | M.Aborted _ -> "aborted"
+   in
+   Alcotest.(check string)
+     (what ^ " outcome") (outcome new_r.M.outcome) (outcome old_r.M.outcome));
+  Alcotest.(check int) (what ^ " steps") new_r.M.steps old_r.M.steps;
+  Alcotest.(check (list (pair model_t int)))
+    (what ^ " peaks") new_r.M.peaks old_r.M.peaks
+
+let countdown_src = "(define (f n) (if (zero? n) 'done (f (- n 1)))) (f 25)"
+
+let test_shims_agree () =
+  let fresh () = M.create_with M.Config.default in
+  (* measure_linked:true maps to [Flat; Linked] *)
+  let old_r = Old_api.run_string ~measure_linked:true (fresh ()) countdown_src in
+  let new_r =
+    M.exec_string
+      ~opts:(M.Run_opts.make ~measure:[ SM.Flat; SM.Linked ] ())
+      (fresh ()) countdown_src
+  in
+  check_same "linked shim" old_r new_r;
+  (* the default maps to [Flat] only *)
+  let old_d = Old_api.run_string (fresh ()) countdown_src in
+  let new_d = M.exec_string (fresh ()) countdown_src in
+  check_same "default shim" old_d new_d;
+  match new_d.M.peaks with
+  | [ (SM.Flat, _) ] -> ()
+  | _ -> Alcotest.fail "the default measures the flat model only"
+
+let test_shim_program () =
+  let program =
+    Tailspace_expander.Expand.program_of_string
+      "(define (f n) (if (zero? n) 'done (f (- n 1)))) f"
+  in
+  let input = Tailspace_ast.Ast.Quote (Tailspace_ast.Ast.C_int (Tailspace_bignum.Bignum.of_int 25)) in
+  let old_r =
+    Old_api.run_program ~measure_linked:true
+      (M.create_with M.Config.default)
+      ~program ~input
+  in
+  let new_r =
+    M.exec_program
+      ~opts:(M.Run_opts.make ~measure:[ SM.Linked ] ())
+      (M.create_with M.Config.default)
+      ~program ~input
+  in
+  check_same "run_program shim" old_r new_r
+
+let () =
+  Alcotest.run "space_model"
+    [
+      ( "vocabulary",
+        [
+          Alcotest.test_case "names round-trip" `Quick test_names_roundtrip;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "to_bits" `Quick test_to_bits;
+          Alcotest.test_case "json codecs" `Quick test_json_roundtrip;
+        ] );
+      ("laws", [ QCheck_alcotest.to_alcotest prop_model_laws ]);
+      ( "shims",
+        [
+          Alcotest.test_case "run_string = exec_string" `Quick test_shims_agree;
+          Alcotest.test_case "run_program = exec_program" `Quick
+            test_shim_program;
+        ] );
+    ]

@@ -31,11 +31,11 @@ let test_counters_match_result () =
       | _ -> Alcotest.failf "%s: expected Done" name);
       Alcotest.(check int) (name ^ " steps") r.M.steps (Tel.steps tl);
       Alcotest.(check int) (name ^ " gc runs") r.M.gc_runs (Tel.gc_runs tl);
-      Alcotest.(check int) (name ^ " peak") r.M.peak_space (Tel.peak_space tl);
+      Alcotest.(check int) (name ^ " peak") (M.peak_space r) (Tel.peak_space tl);
       let s = Tel.summary tl in
       Alcotest.(check int) (name ^ " summary steps") r.M.steps s.Tel.steps;
       Alcotest.(check int) (name ^ " summary gc") r.M.gc_runs s.Tel.gc_runs;
-      Alcotest.(check int) (name ^ " summary peak") r.M.peak_space s.Tel.peak_space)
+      Alcotest.(check int) (name ^ " summary peak") (M.peak_space r) s.Tel.peak_space)
     M.all_variants
 
 (* Two runs of the same deterministic program produce identical
@@ -241,7 +241,7 @@ let test_harness_telemetry () =
   | Some s ->
       Alcotest.(check int) "harness steps" m.R.steps s.Tel.steps;
       Alcotest.(check int) "harness gc" m.R.gc_runs s.Tel.gc_runs;
-      Alcotest.(check int) "harness peak" m.R.peak_space s.Tel.peak_space);
+      Alcotest.(check int) "harness peak" (R.peak_space m) s.Tel.peak_space);
   let table = Table.measurements [ m ] in
   List.iter
     (fun needle ->

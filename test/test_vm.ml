@@ -15,6 +15,7 @@
 
 module A = Tailspace_ast.Ast
 module M = Tailspace_core.Machine
+module SM = Tailspace_core.Space_model
 module B = Tailspace_bignum.Bignum
 module E = Tailspace_expander.Expand
 module Vm = Tailspace_vm.Vm
@@ -198,7 +199,7 @@ let test_corpus_answers () =
     corpus_programs
 
 let test_instrumented_bit_compat () =
-  let opts = { M.Run_opts.default with M.Run_opts.measure_linked = true } in
+  let opts = M.Run_opts.make ~measure:[ SM.Flat; SM.Linked; SM.Log ] () in
   List.iter
     (fun perm ->
       let cfg = { M.Config.default with M.Config.perm } in
@@ -207,9 +208,12 @@ let test_instrumented_bit_compat () =
           let sr = stepper_result ~opts cfg program n in
           let ir = vm_exec ~opts M.Vm cfg program n in
           Alcotest.(check int) (name ^ " steps") sr.M.steps ir.Vm.steps;
-          Alcotest.(check int) (name ^ " peak") sr.M.peak_space ir.Vm.peak_space;
+          Alcotest.(check int)
+            (name ^ " peak") (M.peak_space sr) (Vm.peak_space ir);
           Alcotest.(check (option int))
-            (name ^ " linked") sr.M.peak_linked ir.Vm.peak_linked;
+            (name ^ " linked") (M.peak_linked sr) (Vm.peak_linked ir);
+          Alcotest.(check (option int))
+            (name ^ " log") (M.peak_log sr) (Vm.peak_log ir);
           Alcotest.(check int) (name ^ " gc runs") sr.M.gc_runs ir.Vm.gc_runs;
           Alcotest.(check string) (name ^ " output") sr.M.output ir.Vm.output)
         corpus_programs)
@@ -223,7 +227,8 @@ let test_fast_rejects_accounting () =
          (match what with
          | "rtl" -> "Vm: the fast VM tier evaluates left-to-right only"
          | "linked" ->
-             "Vm: linked-space measurement requires the instrumented tier"
+             "Vm: linked- and log-space measurement requires the instrumented \
+              tier"
          | _ -> assert false))
       (fun () ->
         ignore (Vm.exec_program ?opts cfg ~program ~input:(input 1)))
@@ -237,7 +242,7 @@ let test_fast_rejects_accounting () =
     None;
   check_rejects "linked"
     { M.Config.default with M.Config.engine = M.Vm_fast }
-    (Some { M.Run_opts.default with M.Run_opts.measure_linked = true })
+    (Some (M.Run_opts.make ~measure:[ SM.Flat; SM.Linked ] ()))
 
 let () =
   Alcotest.run "vm"
